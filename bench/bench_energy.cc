@@ -1,0 +1,101 @@
+// Experiment E3 — energy and packaging efficiency.
+//
+// The paper claims Hyperion is "4-8x more energy efficient with the maximum
+// TDP energy specifications (approx. 230 Watts vs 1,600 Watts)" and "5-10x
+// more compact in volume" than a 1U server. This bench runs an identical
+// KV-serving mix (half writes, half reads, 4 KiB values) on both systems
+// and reports:
+//   peak_watts        TDP envelope of the platform model
+//   sim_joules_per_kop  energy per 1000 operations at that envelope
+//   ops_per_joule     efficiency
+//   volume_ratio      1U server volume / Hyperion volume (static geometry)
+//
+// Expected shape: DPU/server peak ratio in [4,8]; ops/joule advantage at or
+// above that ratio (the DPU also finishes each op faster).
+
+#include <benchmark/benchmark.h>
+
+#include "src/baseline/server.h"
+#include "src/dpu/hyperion.h"
+#include "src/dpu/services.h"
+
+namespace {
+
+using namespace hyperion;  // NOLINT
+
+constexpr uint64_t kValueBytes = 4096;
+
+void BM_EnergyDpu(benchmark::State& state) {
+  sim::Engine engine;
+  net::Fabric fabric(&engine);
+  dpu::Hyperion dpu(&engine, &fabric);
+  CHECK_OK(dpu.Boot());
+  auto services = dpu::HyperionServices::Install(&dpu);
+  CHECK_OK(services.status());
+
+  Bytes value(kValueBytes, 1);
+  uint64_t ops = 0;
+  const sim::SimTime start = engine.Now();
+  for (auto _ : state) {
+    const uint64_t key = ops % 512;
+    if (ops % 2 == 0) {
+      CHECK_OK((*services)->kv().Put(key, ByteSpan(value.data(), value.size())));
+    } else {
+      benchmark::DoNotOptimize((*services)->kv().Get(key));
+    }
+    // Charge the shell pipeline work to the fabric energy account.
+    dpu.energy().Busy(sim::DpuPowerIds::kFabric, 1200);
+    dpu.energy().Busy(sim::DpuPowerIds::kNvme, 20 * sim::kMicrosecond);
+    ++ops;
+  }
+  const sim::Duration elapsed = engine.Now() - start;
+  const double joules = dpu.energy().TotalJoules(elapsed);
+  state.counters["peak_watts"] = dpu.energy().PeakWatts();
+  state.counters["sim_joules_per_kop"] = joules / static_cast<double>(ops) * 1000.0;
+  state.counters["ops_per_joule"] = static_cast<double>(ops) / joules;
+  state.SetLabel("hyperion_dpu");
+}
+
+void BM_EnergyServer(benchmark::State& state) {
+  sim::Engine engine;
+  baseline::CpuServer server(&engine);
+  sim::EnergyModel energy = sim::MakeServerEnergyModel();
+
+  uint64_t ops = 0;
+  const sim::SimTime start = engine.Now();
+  for (auto _ : state) {
+    const sim::SimTime op_start = engine.Now();
+    CHECK_OK(server.KvOperation(ops % 2 == 0, kValueBytes).status());
+    const sim::Duration op_time = engine.Now() - op_start;
+    energy.Busy(sim::ServerPowerIds::kCpu, op_time);
+    energy.Busy(sim::ServerPowerIds::kNvme, 20 * sim::kMicrosecond);
+    energy.Busy(sim::ServerPowerIds::kDram, op_time / 2);
+    ++ops;
+  }
+  const sim::Duration elapsed = engine.Now() - start;
+  const double joules = energy.TotalJoules(elapsed);
+  state.counters["peak_watts"] = energy.PeakWatts();
+  state.counters["sim_joules_per_kop"] = joules / static_cast<double>(ops) * 1000.0;
+  state.counters["ops_per_joule"] = static_cast<double>(ops) / joules;
+  state.SetLabel("x86_1u_server");
+}
+
+void BM_PackagingRatios(benchmark::State& state) {
+  // Static geometry from the paper: Hyperion is a PCIe-card-sized sled
+  // (~20.7 cm x 29.7 cm x ~4 cm) vs a 1U rack server (43.9 x 4.4 x 70 cm).
+  const double hyperion_volume_l = 20.7 * 29.7 * 4.0 / 1000.0;
+  const double server_volume_l = 43.9 * 4.4 * 70.0 / 1000.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hyperion_volume_l);
+  }
+  state.counters["volume_ratio"] = server_volume_l / hyperion_volume_l;
+  state.counters["tdp_ratio"] =
+      sim::MakeServerEnergyModel().PeakWatts() / sim::MakeDpuEnergyModel().PeakWatts();
+  state.SetLabel("paper_claims: volume 5-10x, energy 4-8x");
+}
+
+BENCHMARK(BM_EnergyDpu)->Iterations(2000)->Name("E3/Energy/hyperion");
+BENCHMARK(BM_EnergyServer)->Iterations(2000)->Name("E3/Energy/server");
+BENCHMARK(BM_PackagingRatios)->Iterations(1)->Name("E3/Packaging/ratios");
+
+}  // namespace

@@ -1,0 +1,169 @@
+// Experiment E2 — Figure 2 datapath.
+//
+// Drives the end-to-end hardware path of the blueprint: a client sends a
+// KV request over an application-chosen transport (TCP/UDP/RDMA/Homa), the
+// DPU shell dispatches it, the single-level store routes it to DRAM or
+// flash, and the response returns. Reported per (transport, value size):
+//   sim_put_us / sim_get_us  modelled end-to-end request latency
+//
+// Expected shape: RDMA < Homa < UDP < TCP for small requests (software and
+// protocol overhead ordering); serialization dominates and the transports
+// converge as values grow.
+
+#include <benchmark/benchmark.h>
+
+#include "src/dpu/hyperion.h"
+#include "src/dpu/services.h"
+
+namespace {
+
+using namespace hyperion;  // NOLINT
+
+constexpr net::TransportKind kKinds[] = {
+    net::TransportKind::kUdp, net::TransportKind::kTcp, net::TransportKind::kRdma,
+    net::TransportKind::kHoma};
+
+struct Setup {
+  sim::Engine engine;
+  net::Fabric fabric{&engine};
+  dpu::Hyperion dpu{&engine, &fabric};
+  net::HostId client;
+  Rng rng{11};
+  std::unique_ptr<dpu::HyperionServices> services;
+
+  explicit Setup(net::TransportKind kind) {
+    client = fabric.AddHost("client");
+    CHECK_OK(dpu.Boot());
+    auto installed = dpu::HyperionServices::Install(&dpu);
+    CHECK_OK(installed.status());
+    services = std::move(*installed);
+    // The DPU terminates its transport in fabric (zero software cost); the
+    // *client* is an ordinary host: kernel stack for TCP/UDP, kernel-bypass
+    // verbs for RDMA, a user-level runtime for Homa.
+    net::TransportParams params;
+    switch (kind) {
+      case net::TransportKind::kTcp:
+        params.sender_sw_overhead = 2500;
+        params.receiver_sw_overhead = 2500;
+        break;
+      case net::TransportKind::kUdp:
+        params.sender_sw_overhead = 1500;
+        params.receiver_sw_overhead = 1500;
+        break;
+      case net::TransportKind::kHoma:
+        params.sender_sw_overhead = 600;
+        params.receiver_sw_overhead = 600;
+        break;
+      case net::TransportKind::kRdma:
+        break;  // hardware verbs
+    }
+    transport = net::MakeTransport(kind, &fabric, &rng, params);
+    rpc = std::make_unique<dpu::RpcClient>(transport.get(), client, dpu.host_id(), &dpu.rpc());
+  }
+
+  std::unique_ptr<net::Transport> transport;
+  std::unique_ptr<dpu::RpcClient> rpc;
+};
+
+void BM_Fig2Datapath(benchmark::State& state) {
+  const net::TransportKind kind = kKinds[state.range(0)];
+  const uint64_t value_bytes = static_cast<uint64_t>(state.range(1));
+  Setup setup(kind);
+
+  Bytes value(value_bytes, 0x5a);
+  uint64_t key = 0;
+  sim::Duration put_total = 0;
+  sim::Duration get_total = 0;
+  uint64_t ops = 0;
+  for (auto _ : state) {
+    Bytes put;
+    PutU64(put, key);
+    PutU32(put, static_cast<uint32_t>(value.size()));
+    PutBytes(put, ByteSpan(value.data(), value.size()));
+    const sim::SimTime t0 = setup.engine.Now();
+    auto put_resp = setup.rpc->Call({dpu::ServiceId::kKv, dpu::KvOp::kPut, std::move(put)});
+    const sim::SimTime t1 = setup.engine.Now();
+    Bytes get;
+    PutU64(get, key);
+    auto get_resp = setup.rpc->Call({dpu::ServiceId::kKv, dpu::KvOp::kGet, std::move(get)});
+    const sim::SimTime t2 = setup.engine.Now();
+    if (!put_resp.ok() || !put_resp->status.ok() || !get_resp.ok() ||
+        !get_resp->status.ok()) {
+      state.SkipWithError("request failed");
+      return;
+    }
+    put_total += t1 - t0;
+    get_total += t2 - t1;
+    ++ops;
+    key = (key + 1) % 64;
+  }
+  state.counters["sim_put_us"] = sim::ToMicros(put_total) / static_cast<double>(ops);
+  state.counters["sim_get_us"] = sim::ToMicros(get_total) / static_cast<double>(ops);
+  state.SetLabel(std::string(net::TransportKindName(kind)));
+}
+
+// Same datapath, block-level (NVMe-oF) storage API instead of KV.
+void BM_Fig2Block(benchmark::State& state) {
+  const net::TransportKind kind = kKinds[state.range(0)];
+  const uint64_t bytes = static_cast<uint64_t>(state.range(1));
+  Setup setup(kind);
+
+  Bytes data(bytes, 0x33);
+  uint64_t lba = 0;
+  sim::Duration write_total = 0;
+  sim::Duration read_total = 0;
+  uint64_t ops = 0;
+  const uint32_t blocks = static_cast<uint32_t>(bytes / nvme::kLbaSize);
+  for (auto _ : state) {
+    Bytes write;
+    PutU32(write, 2);  // namespace 2: raw block space
+    PutU64(write, lba);
+    PutBytes(write, ByteSpan(data.data(), data.size()));
+    const sim::SimTime t0 = setup.engine.Now();
+    auto wrote = setup.rpc->Call({dpu::ServiceId::kBlock, dpu::BlockOp::kWrite,
+                                  std::move(write)});
+    const sim::SimTime t1 = setup.engine.Now();
+    Bytes read;
+    PutU32(read, 2);
+    PutU64(read, lba);
+    PutU32(read, blocks);
+    auto got = setup.rpc->Call({dpu::ServiceId::kBlock, dpu::BlockOp::kRead, std::move(read)});
+    const sim::SimTime t2 = setup.engine.Now();
+    if (!wrote.ok() || !wrote->status.ok() || !got.ok() || !got->status.ok()) {
+      state.SkipWithError("block op failed");
+      return;
+    }
+    write_total += t1 - t0;
+    read_total += t2 - t1;
+    ++ops;
+    lba = (lba + blocks) % 4096;
+  }
+  state.counters["sim_write_us"] = sim::ToMicros(write_total) / static_cast<double>(ops);
+  state.counters["sim_read_us"] = sim::ToMicros(read_total) / static_cast<double>(ops);
+  state.SetLabel(std::string(net::TransportKindName(kind)) + "/nvmeof_block");
+}
+
+void RegisterAll() {
+  for (int k = 0; k < 4; ++k) {
+    for (int64_t bytes : {64, 4096, 65536}) {
+      benchmark::RegisterBenchmark((std::string("E2/Fig2Datapath/kv/") +
+                                       std::string(net::TransportKindName(kKinds[k])) +
+                                       "/value:" + std::to_string(bytes)).c_str(),
+                                   BM_Fig2Datapath)
+          ->Args({k, bytes})
+          ->Iterations(50);
+    }
+    for (int64_t bytes : {4096, 65536}) {
+      benchmark::RegisterBenchmark((std::string("E2/Fig2Datapath/block/") +
+                                       std::string(net::TransportKindName(kKinds[k])) +
+                                       "/bytes:" + std::to_string(bytes)).c_str(),
+                                   BM_Fig2Block)
+          ->Args({k, bytes})
+          ->Iterations(50);
+    }
+  }
+}
+
+const int kRegistered = (RegisterAll(), 0);
+
+}  // namespace

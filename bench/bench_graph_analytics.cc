@@ -1,0 +1,142 @@
+// Workload exploration W1 (paper §4): graph analytics as a "killer
+// workload" candidate — "LDBC Graphalytics with graph database ...
+// data-intensive and ... shown to benefit from FPGA acceleration".
+//
+// A synthetic scale-free graph lives in the DPU's fast tier as CSR
+// segments. BFS and PageRank run two ways:
+//   near_data     the traversal executes on the DPU beside the segments
+//                 (segment-translation + HBM/DRAM costs only);
+//   client_driven the same traversal from a remote client that must fetch
+//                 every offset/adjacency slice over the fabric (one RTT
+//                 per segment read on top of the same media costs).
+// Reported: sim_ms per run and the segment-read count.
+//
+// Expected shape: the remote penalty is segment_reads x RTT, so it grows
+// linearly with graph size while the near-data run grows only with media
+// time — the E5 pointer-chasing argument at graph scale.
+
+#include <benchmark/benchmark.h>
+
+#include "src/common/rng.h"
+#include "src/mem/object_store.h"
+#include "src/net/fabric.h"
+#include "src/nvme/controller.h"
+#include "src/storage/graph.h"
+
+namespace {
+
+using namespace hyperion;  // NOLINT
+
+struct GraphSetup {
+  sim::Engine engine;
+  nvme::Controller ctrl{&engine};
+  std::unique_ptr<mem::ObjectStore> store;
+  std::unique_ptr<storage::CsrGraph> graph;
+  net::Fabric fabric{&engine};
+  net::HostId client;
+  net::HostId dpu;
+
+  explicit GraphSetup(uint32_t nodes) {
+    mem::ObjectStoreConfig config;
+    config.dram_bytes = 128u << 20;
+    config.hbm_bytes = 64u << 20;
+    config.nvme_nsid = ctrl.AddNamespace(65536);
+    store = std::make_unique<mem::ObjectStore>(&engine, &ctrl, config);
+    client = fabric.AddHost("client");
+    dpu = fabric.AddHost("hyperion");
+    // Preferential-attachment-flavoured scale-free graph: new vertices link
+    // to a few earlier ones, biased toward low ids (hubs).
+    Rng rng(4242);
+    std::vector<std::pair<uint32_t, uint32_t>> edges;
+    for (uint32_t v = 1; v < nodes; ++v) {
+      const uint32_t out = 1 + static_cast<uint32_t>(rng.Uniform(4));
+      for (uint32_t e = 0; e < out; ++e) {
+        const auto target = static_cast<uint32_t>(rng.Uniform(v) * rng.Uniform(v) / std::max<uint32_t>(v, 1));
+        edges.emplace_back(v, std::min(target, v - 1));
+        edges.emplace_back(std::min(target, v - 1), v);  // make it reachable
+      }
+    }
+    auto built = storage::CsrGraph::Build(store.get(), 1, nodes, edges);
+    CHECK_OK(built.status());
+    graph = std::make_unique<storage::CsrGraph>(std::move(*built));
+  }
+};
+
+void BM_Bfs(benchmark::State& state) {
+  const auto nodes = static_cast<uint32_t>(state.range(0));
+  const bool remote = state.range(1) != 0;
+  GraphSetup setup(nodes);
+  const sim::Duration rtt = *setup.fabric.Rtt(setup.client, setup.dpu);
+
+  sim::Duration total = 0;
+  uint64_t runs = 0;
+  uint64_t reads = 0;
+  for (auto _ : state) {
+    setup.graph->ResetStats();
+    const sim::SimTime t0 = setup.engine.Now();
+    CHECK_OK(setup.graph->Bfs(0).status());
+    sim::Duration elapsed = setup.engine.Now() - t0;
+    reads = setup.graph->segment_reads();
+    if (remote) {
+      // Each segment read becomes a dependent network round trip.
+      const sim::Duration penalty = reads * rtt;
+      setup.engine.Advance(penalty);
+      elapsed += penalty;
+    }
+    total += elapsed;
+    ++runs;
+  }
+  state.counters["sim_ms"] = sim::ToMillis(total) / static_cast<double>(runs);
+  state.counters["segment_reads"] = static_cast<double>(reads);
+  state.SetLabel(remote ? "client_driven" : "near_data");
+}
+
+void BM_PageRank(benchmark::State& state) {
+  const auto nodes = static_cast<uint32_t>(state.range(0));
+  const bool remote = state.range(1) != 0;
+  GraphSetup setup(nodes);
+  const sim::Duration rtt = *setup.fabric.Rtt(setup.client, setup.dpu);
+
+  sim::Duration total = 0;
+  uint64_t runs = 0;
+  for (auto _ : state) {
+    setup.graph->ResetStats();
+    const sim::SimTime t0 = setup.engine.Now();
+    CHECK_OK(setup.graph->PageRank(5).status());
+    sim::Duration elapsed = setup.engine.Now() - t0;
+    if (remote) {
+      const sim::Duration penalty = setup.graph->segment_reads() * rtt;
+      setup.engine.Advance(penalty);
+      elapsed += penalty;
+    }
+    total += elapsed;
+    ++runs;
+  }
+  state.counters["sim_ms"] = sim::ToMillis(total) / static_cast<double>(runs);
+  state.SetLabel(remote ? "client_driven" : "near_data");
+}
+
+void RegisterAll() {
+  for (int64_t nodes : {1000, 10000}) {
+    for (int remote : {0, 1}) {
+      benchmark::RegisterBenchmark(
+          ("W1/GraphBfs/" + std::string(remote != 0 ? "client_driven" : "near_data") +
+           "/nodes:" + std::to_string(nodes))
+              .c_str(),
+          BM_Bfs)
+          ->Args({nodes, remote})
+          ->Iterations(3);
+      benchmark::RegisterBenchmark(
+          ("W1/GraphPageRank/" + std::string(remote != 0 ? "client_driven" : "near_data") +
+           "/nodes:" + std::to_string(nodes))
+              .c_str(),
+          BM_PageRank)
+          ->Args({nodes, remote})
+          ->Iterations(2);
+    }
+  }
+}
+
+const int kRegistered = (RegisterAll(), 0);
+
+}  // namespace

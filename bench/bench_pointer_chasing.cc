@@ -1,0 +1,111 @@
+// Experiment E5 — network pointer chasing (§2.4).
+//
+// "In a disaggregated storage, pointer chasing over B+ trees ... results in
+// multiple network RTTs with significant performance degradation. These
+// latency-sensitive applications can now be deployed in the FPGA."
+//
+// A client on the fabric looks up keys in a B+ tree stored on the DPU:
+//   client_driven  fetches every node over the network (height RTTs);
+//   offloaded      one RPC, the DPU walks the tree next to the data.
+// Swept over tree size (height 2..4+ here) and network propagation delay.
+// Reported: sim_lookup_us, rpcs (round trips per lookup).
+//
+// Expected shape: client-driven latency grows linearly with height while
+// offloaded stays ~1 RTT + local walk; the gap widens with propagation
+// delay (the RTT-multiplier is the whole story).
+
+#include <benchmark/benchmark.h>
+
+#include "src/dpu/hyperion.h"
+#include "src/dpu/remote_tree.h"
+#include "src/dpu/services.h"
+
+namespace {
+
+using namespace hyperion;  // NOLINT
+
+struct Setup {
+  sim::Engine engine;
+  net::Fabric fabric;
+  dpu::Hyperion dpu;
+  net::HostId client;
+  Rng rng{13};
+  std::unique_ptr<dpu::HyperionServices> services;
+  std::unique_ptr<net::Transport> transport;
+  std::unique_ptr<dpu::RpcClient> rpc;
+  std::unique_ptr<dpu::RemoteTreeClient> tree_client;
+  uint64_t keys = 0;
+
+  Setup(uint64_t key_count, sim::Duration propagation)
+      : fabric(&engine, net::FabricParams{.propagation = propagation}),
+        dpu(&engine, &fabric),
+        keys(key_count) {
+    client = fabric.AddHost("client");
+    CHECK_OK(dpu.Boot());
+    auto installed = dpu::HyperionServices::Install(&dpu);
+    CHECK_OK(installed.status());
+    services = std::move(*installed);
+    for (uint64_t k = 0; k < key_count; ++k) {
+      Bytes v;
+      PutU64(v, k ^ 0xabcdef);
+      CHECK_OK(services->tree().Insert(k, ByteSpan(v.data(), v.size())));
+    }
+    transport = net::MakeTransport(net::TransportKind::kRdma, &fabric, &rng);
+    rpc = std::make_unique<dpu::RpcClient>(transport.get(), client, dpu.host_id(), &dpu.rpc());
+    tree_client = std::make_unique<dpu::RemoteTreeClient>(rpc.get());
+  }
+};
+
+void Run(benchmark::State& state, bool offloaded) {
+  const auto keys = static_cast<uint64_t>(state.range(0));
+  const auto propagation = static_cast<sim::Duration>(state.range(1));
+  Setup setup(keys, propagation);
+
+  sim::Duration total = 0;
+  uint64_t lookups = 0;
+  setup.tree_client->ResetStats();
+  for (auto _ : state) {
+    const uint64_t key = setup.rng.Uniform(keys);
+    const sim::SimTime t0 = setup.engine.Now();
+    auto result = offloaded ? setup.tree_client->OffloadedGet(key)
+                            : setup.tree_client->ClientDrivenGet(key);
+    if (!result.ok()) {
+      state.SkipWithError("lookup failed");
+      return;
+    }
+    total += setup.engine.Now() - t0;
+    ++lookups;
+  }
+  state.counters["sim_lookup_us"] = sim::ToMicros(total) / static_cast<double>(lookups);
+  state.counters["rpcs_per_lookup"] =
+      static_cast<double>(setup.tree_client->rpcs_issued()) / static_cast<double>(lookups);
+  state.counters["tree_height"] = setup.services->tree().Height();
+  state.SetLabel(offloaded ? "offloaded" : "client_driven");
+}
+
+void BM_ClientDriven(benchmark::State& state) { Run(state, /*offloaded=*/false); }
+void BM_Offloaded(benchmark::State& state) { Run(state, /*offloaded=*/true); }
+
+void RegisterAll() {
+  // Key counts chosen to step the tree height; propagation in ns (intra-
+  // rack 250 ns, cross-rack ~2 us, cross-pod ~10 us one way).
+  for (int64_t keys : {100, 2000, 40000}) {
+    for (int64_t prop : {250, 2000, 10000}) {
+      benchmark::RegisterBenchmark(("E5/PointerChase/client_driven/keys:" +
+                                       std::to_string(keys) + "/prop_ns:" +
+                                       std::to_string(prop)).c_str(),
+                                   BM_ClientDriven)
+          ->Args({keys, prop})
+          ->Iterations(30);
+      benchmark::RegisterBenchmark(("E5/PointerChase/offloaded/keys:" + std::to_string(keys) +
+                                       "/prop_ns:" + std::to_string(prop)).c_str(),
+                                   BM_Offloaded)
+          ->Args({keys, prop})
+          ->Iterations(30);
+    }
+  }
+}
+
+const int kRegistered = (RegisterAll(), 0);
+
+}  // namespace

@@ -1,0 +1,67 @@
+// Experiment E1 — Table 1 reproduction.
+//
+// The paper's Table 1 catalogs pairwise accelerator integrations and the
+// CPU's residual role in each. This bench prices a network-to-durable-
+// storage transfer under every integration style and reports, per row:
+//   sim_latency_us  end-to-end modelled latency
+//   cpu_touches     syscalls/interrupts/stack traversals/copies
+//   cpu_busy_us     host CPU time burned per transfer
+//   pcie_hops       link traversals
+//
+// Expected shape (paper claim): every prior class keeps the CPU on the
+// path; Hyperion's row is the only one with cpu_touches == 0 and the
+// fewest hops, and it has the lowest latency at every size.
+
+#include <benchmark/benchmark.h>
+
+#include "src/baseline/integration.h"
+
+namespace {
+
+using hyperion::baseline::IntegrationKind;
+using hyperion::baseline::PathReport;
+using hyperion::baseline::PriceNetToStorage;
+
+constexpr IntegrationKind kKinds[] = {
+    IntegrationKind::kGpuWithNetwork,    IntegrationKind::kGpuWithStorage,
+    IntegrationKind::kFpgaWithNetwork,   IntegrationKind::kStorageWithNetwork,
+    IntegrationKind::kStorageWithAccel,  IntegrationKind::kCommercialDpu,
+    IntegrationKind::kHyperion,
+};
+
+void BM_Table1(benchmark::State& state) {
+  const IntegrationKind kind = kKinds[state.range(0)];
+  const uint64_t bytes = static_cast<uint64_t>(state.range(1));
+  PathReport report;
+  for (auto _ : state) {
+    auto priced = PriceNetToStorage(kind, bytes);
+    if (!priced.ok()) {
+      state.SkipWithError("pricing failed");
+      return;
+    }
+    report = *priced;
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["sim_latency_us"] = hyperion::sim::ToMicros(report.latency);
+  state.counters["cpu_touches"] = static_cast<double>(report.cpu_touches);
+  state.counters["cpu_busy_us"] = hyperion::sim::ToMicros(report.cpu_busy);
+  state.counters["pcie_hops"] = static_cast<double>(report.pcie_hops);
+  state.counters["dma_legs"] = static_cast<double>(report.dma_legs);
+  state.SetLabel(std::string(IntegrationName(kind)));
+}
+
+void RegisterAll() {
+  for (int k = 0; k < 7; ++k) {
+    for (int64_t bytes : {4 << 10, 64 << 10, 1 << 20}) {
+      benchmark::RegisterBenchmark((std::string("E1/Table1/") +
+              std::string(IntegrationName(kKinds[k])) + "/bytes:" + std::to_string(bytes)).c_str(),
+          BM_Table1)
+          ->Args({k, bytes})
+          ->Iterations(200);
+    }
+  }
+}
+
+const int kRegistered = (RegisterAll(), 0);
+
+}  // namespace

@@ -1,0 +1,112 @@
+#include "src/apps/fail2ban.h"
+
+#include "src/common/check.h"
+
+namespace hyperion::apps {
+
+namespace {
+constexpr uint64_t kAuditLogId = 0xF2B;
+// Durable segment holding the ban list snapshot.
+const mem::SegmentId kBanListSegment(0xF2B0000000000000ull, 1);
+constexpr uint64_t kBanListBytes = 64 * 1024;
+}  // namespace
+
+Result<std::unique_ptr<Fail2Ban>> Fail2Ban::Create(dpu::Hyperion* dpu, Fail2BanConfig config) {
+  if (!dpu->booted()) {
+    return Unavailable("boot the DPU first");
+  }
+  if (config.max_failures == 0) {
+    return InvalidArgument("max_failures must be positive");
+  }
+  auto app = std::unique_ptr<Fail2Ban>(new Fail2Ban(dpu, config));
+  app->audit_log_ = std::make_unique<storage::CorfuLog>(&dpu->store(), kAuditLogId);
+  return app;
+}
+
+Result<Fail2Ban::Verdict> Fail2Ban::OnAuthAttempt(uint32_t src_ip, bool auth_failed) {
+  const sim::SimTime now = dpu_->engine()->Now();
+  SourceState& state = sources_[src_ip];
+  if (state.banned_until > now) {
+    return Verdict::kBanned;
+  }
+  if (!auth_failed) {
+    return Verdict::kPass;
+  }
+  // Durable audit record: [timestamp][src_ip][failure#].
+  if (now > state.window_start + config_.window) {
+    state.window_start = now;
+    state.failures = 0;
+  }
+  ++state.failures;
+  Bytes record;
+  PutU64(record, now);
+  PutU32(record, src_ip);
+  PutU32(record, state.failures);
+  RETURN_IF_ERROR(audit_log_->Append(ByteSpan(record.data(), record.size())).status());
+  ++events_logged_;
+  if (state.failures >= config_.max_failures) {
+    state.banned_until = now + config_.ban_duration;
+    ++bans_issued_;
+    return Verdict::kBanned;
+  }
+  return Verdict::kFailedAttempt;
+}
+
+bool Fail2Ban::IsBanned(uint32_t src_ip) const {
+  auto it = sources_.find(src_ip);
+  return it != sources_.end() && it->second.banned_until > dpu_->engine()->Now();
+}
+
+Status Fail2Ban::PersistBanList() {
+  Bytes snapshot;
+  uint32_t banned = 0;
+  const sim::SimTime now = dpu_->engine()->Now();
+  for (const auto& [ip, state] : sources_) {
+    if (state.banned_until > now) {
+      ++banned;
+    }
+  }
+  PutU32(snapshot, banned);
+  for (const auto& [ip, state] : sources_) {
+    if (state.banned_until > now) {
+      PutU32(snapshot, ip);
+      PutU64(snapshot, state.banned_until);
+    }
+  }
+  PutU32(snapshot, Crc32c(ByteSpan(snapshot.data(), snapshot.size())));
+  if (snapshot.size() > kBanListBytes) {
+    return ResourceExhausted("ban list snapshot exceeds its segment");
+  }
+  if (!dpu_->store().Describe(kBanListSegment).ok()) {
+    RETURN_IF_ERROR(dpu_->store().CreateWithId(kBanListSegment, kBanListBytes,
+                                               {.durable = true}));
+  }
+  RETURN_IF_ERROR(dpu_->store().Write(kBanListSegment, 0,
+                                      ByteSpan(snapshot.data(), snapshot.size())));
+  return dpu_->store().Checkpoint();
+}
+
+Result<uint64_t> Fail2Ban::RestoreBanList() {
+  ASSIGN_OR_RETURN(Bytes header, dpu_->store().Read(kBanListSegment, 0, 4));
+  const uint32_t banned = GetU32(header, 0);
+  const uint64_t body = 4 + static_cast<uint64_t>(banned) * 12;
+  ASSIGN_OR_RETURN(Bytes snapshot, dpu_->store().Read(kBanListSegment, 0, body + 4));
+  if (Crc32c(ByteSpan(snapshot.data(), body)) != GetU32(snapshot, body)) {
+    return DataLoss("ban list snapshot corrupt");
+  }
+  ByteReader reader(ByteSpan(snapshot.data(), body));
+  reader.Skip(4);
+  uint64_t restored = 0;
+  for (uint32_t i = 0; i < banned; ++i) {
+    const uint32_t ip = reader.ReadU32();
+    const uint64_t until = reader.ReadU64();
+    sources_[ip].banned_until = until;
+    ++restored;
+  }
+  if (!reader.Ok()) {
+    return DataLoss("ban list snapshot truncated");
+  }
+  return restored;
+}
+
+}  // namespace hyperion::apps

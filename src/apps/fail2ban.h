@@ -1,0 +1,74 @@
+// fail2ban-style intrusion banner running standalone on Hyperion (paper
+// §2.4's first workload class: "high data volume network middleware
+// applications such as fail2Ban ... that need to log network traffic data
+// persistently").
+//
+// State is flow-proportional and *durable*: every failed authentication
+// attempt is appended to a Corfu-style audit log on the DPU's flash, and
+// the ban list survives power cycles through the single-level store. On a
+// Tiara-style FPGA-only design this state would have to be shipped to an
+// x86 server; on Hyperion it just lands on the attached SSDs.
+
+#ifndef HYPERION_SRC_APPS_FAIL2BAN_H_
+#define HYPERION_SRC_APPS_FAIL2BAN_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "src/apps/packet.h"
+#include "src/common/result.h"
+#include "src/dpu/hyperion.h"
+#include "src/storage/corfu.h"
+
+namespace hyperion::apps {
+
+struct Fail2BanConfig {
+  uint32_t max_failures = 5;                      // within the window
+  sim::Duration window = 60 * sim::kSecond;
+  sim::Duration ban_duration = 600 * sim::kSecond;
+};
+
+class Fail2Ban {
+ public:
+  static Result<std::unique_ptr<Fail2Ban>> Create(dpu::Hyperion* dpu,
+                                                  Fail2BanConfig config = Fail2BanConfig());
+
+  enum class Verdict { kPass, kFailedAttempt, kBanned };
+
+  // Processes one authentication outcome from `src_ip`. Failed attempts
+  // are durably logged; crossing the threshold bans the source.
+  Result<Verdict> OnAuthAttempt(uint32_t src_ip, bool auth_failed);
+
+  bool IsBanned(uint32_t src_ip) const;
+
+  // Persists the ban list to a durable segment (+ checkpoint) and restores
+  // it after a power cycle.
+  Status PersistBanList();
+  Result<uint64_t> RestoreBanList();
+
+  uint64_t events_logged() const { return events_logged_; }
+  uint64_t bans_issued() const { return bans_issued_; }
+  const storage::CorfuLog& audit_log() const { return *audit_log_; }
+
+ private:
+  Fail2Ban(dpu::Hyperion* dpu, Fail2BanConfig config)
+      : dpu_(dpu), config_(config) {}
+
+  struct SourceState {
+    uint32_t failures = 0;
+    sim::SimTime window_start = 0;
+    sim::SimTime banned_until = 0;
+  };
+
+  dpu::Hyperion* dpu_;
+  Fail2BanConfig config_;
+  std::unique_ptr<storage::CorfuLog> audit_log_;
+  std::unordered_map<uint32_t, SourceState> sources_;
+  uint64_t events_logged_ = 0;
+  uint64_t bans_issued_ = 0;
+};
+
+}  // namespace hyperion::apps
+
+#endif  // HYPERION_SRC_APPS_FAIL2BAN_H_

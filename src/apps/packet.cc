@@ -1,0 +1,38 @@
+#include "src/apps/packet.h"
+
+#include <sstream>
+
+namespace hyperion::apps {
+
+uint64_t FlowKey::Hash() const {
+  Bytes bytes = Serialize();
+  return Fnv1a64(ByteSpan(bytes.data(), bytes.size()));
+}
+
+Bytes FlowKey::Serialize() const {
+  Bytes out;
+  PutU32(out, src_ip);
+  PutU32(out, dst_ip);
+  PutU16(out, src_port);
+  PutU16(out, dst_port);
+  out.push_back(protocol);
+  return out;
+}
+
+namespace {
+std::string IpToString(uint32_t ip) {
+  std::ostringstream os;
+  os << ((ip >> 24) & 0xff) << '.' << ((ip >> 16) & 0xff) << '.' << ((ip >> 8) & 0xff) << '.'
+     << (ip & 0xff);
+  return os.str();
+}
+}  // namespace
+
+std::string FlowKey::ToString() const {
+  std::ostringstream os;
+  os << IpToString(src_ip) << ':' << src_port << " -> " << IpToString(dst_ip) << ':' << dst_port
+     << '/' << static_cast<int>(protocol);
+  return os.str();
+}
+
+}  // namespace hyperion::apps

@@ -1,0 +1,4 @@
+#include "src/baseline/host.h"
+
+// HostCpu is header-only today; this translation unit anchors the library
+// and keeps a stable home for future out-of-line additions.

@@ -1,0 +1,79 @@
+// Host CPU cost model — the thing the paper wants out of the critical path.
+//
+// Every number here is a well-documented public measurement for a modern
+// x86 server running Linux: syscall entry/exit, interrupt handling, context
+// switches, single-core memcpy bandwidth, and the per-operation software
+// costs of the kernel network and block stacks. The baseline architectures
+// of Table 1 and the host sides of experiments E1/E3/E5/E8 are priced by
+// composing these primitives; Hyperion's paths simply never call them.
+
+#ifndef HYPERION_SRC_BASELINE_HOST_H_
+#define HYPERION_SRC_BASELINE_HOST_H_
+
+#include <cstdint>
+
+#include "src/sim/engine.h"
+#include "src/sim/stats.h"
+
+namespace hyperion::baseline {
+
+struct HostCostParams {
+  sim::Duration syscall = 600;                   // entry/exit + spectre mitigations
+  sim::Duration interrupt = 1500;                // IRQ + softirq dispatch
+  sim::Duration context_switch = 2 * sim::kMicrosecond;
+  double memcpy_gbps = 80.0;                     // one core, warm cache ~10 GB/s
+  sim::Duration net_stack_per_packet = 1500;     // skb alloc, protocol, routing
+  sim::Duration block_stack_per_io = 3 * sim::kMicrosecond;  // VFS+FS+blk-mq
+  sim::Duration page_cache_lookup = 250;
+  double cpu_ghz = 3.0;
+};
+
+// Charges host software costs to the virtual clock and tracks CPU busy time
+// (for the energy model) plus per-primitive counters.
+class HostCpu {
+ public:
+  explicit HostCpu(sim::Engine* engine, HostCostParams params = HostCostParams())
+      : engine_(engine), params_(params) {}
+
+  void Syscall() { Charge("syscalls", params_.syscall); }
+  void Interrupt() { Charge("interrupts", params_.interrupt); }
+  void ContextSwitch() { Charge("context_switches", params_.context_switch); }
+  void NetStackPacket() { Charge("net_stack_packets", params_.net_stack_per_packet); }
+  void BlockStackIo() { Charge("block_ios", params_.block_stack_per_io); }
+  void PageCacheLookup() { Charge("page_cache_lookups", params_.page_cache_lookup); }
+
+  // One CPU-mediated copy of `bytes` (e.g. user<->kernel crossing).
+  void Copy(uint64_t bytes) {
+    counters_.Add("copied_bytes", bytes);
+    ChargeTime("copies", sim::TransferTime(bytes, params_.memcpy_gbps));
+  }
+
+  // Generic compute of `cycles` on one core.
+  void Compute(uint64_t cycles) {
+    ChargeTime("compute", sim::CyclesToTime(cycles, params_.cpu_ghz * 1000.0));
+  }
+
+  sim::Duration BusyTime() const { return busy_; }
+  const sim::Counters& counters() const { return counters_; }
+  const HostCostParams& params() const { return params_; }
+
+ private:
+  void Charge(const char* what, sim::Duration cost) {
+    counters_.Increment(what);
+    ChargeTime(what, cost);
+  }
+  void ChargeTime(const char* what, sim::Duration cost) {
+    (void)what;
+    engine_->Advance(cost);
+    busy_ += cost;
+  }
+
+  sim::Engine* engine_;
+  HostCostParams params_;
+  sim::Duration busy_ = 0;
+  sim::Counters counters_;
+};
+
+}  // namespace hyperion::baseline
+
+#endif  // HYPERION_SRC_BASELINE_HOST_H_

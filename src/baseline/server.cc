@@ -1,0 +1,106 @@
+#include "src/baseline/server.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace hyperion::baseline {
+
+CpuServer::CpuServer(sim::Engine* engine, HostCostParams params)
+    : engine_(engine),
+      cpu_(engine, params),
+      dma_(engine, &topology_),
+      nvme_(engine) {
+  root_ = topology_.AddRootComplex("host_rc");
+  dram_ = topology_.AddEndpoint("dram", root_, {5, 16});  // memory-bus stand-in
+  nic_ = topology_.AddEndpoint("nic", root_, {4, 8});
+  ssd_ = topology_.AddEndpoint("nvme", root_, {3, 4});
+  nsid_ = nvme_.AddNamespace(1u << 20);  // 4 GiB namespace
+}
+
+Result<sim::Duration> CpuServer::IngestToStorage(uint64_t bytes) {
+  const sim::SimTime start = engine_->Now();
+  // NIC DMA into kernel DRAM buffers, then the interrupt + stack.
+  RETURN_IF_ERROR(dma_.Transfer(nic_, dram_, bytes).status());
+  cpu_.Interrupt();
+  const uint64_t packets = std::max<uint64_t>(1, bytes / 1460);
+  for (uint64_t p = 0; p < packets; ++p) {
+    cpu_.NetStackPacket();
+  }
+  // Userspace read(): syscall + copy out of the kernel.
+  cpu_.Syscall();
+  cpu_.Copy(bytes);
+  // Userspace write(): syscall + copy back in + block stack per 128 KiB IO.
+  cpu_.Syscall();
+  cpu_.Copy(bytes);
+  const uint64_t ios = std::max<uint64_t>(1, bytes / (128 * 1024));
+  for (uint64_t i = 0; i < ios; ++i) {
+    cpu_.BlockStackIo();
+  }
+  // DMA to the device and the NVMe program itself.
+  RETURN_IF_ERROR(dma_.Transfer(dram_, ssd_, bytes).status());
+  const uint64_t lbas = std::max<uint64_t>(1, (bytes + nvme::kLbaSize - 1) / nvme::kLbaSize);
+  Bytes payload(lbas * nvme::kLbaSize, 0);
+  RETURN_IF_ERROR(nvme_.Write(nsid_, next_lba_, ByteSpan(payload.data(), payload.size())));
+  next_lba_ = (next_lba_ + lbas) % (1u << 19);
+  cpu_.Interrupt();  // completion interrupt
+  return engine_->Now() - start;
+}
+
+Result<sim::Duration> CpuServer::ServeFromStorage(uint64_t bytes) {
+  const sim::SimTime start = engine_->Now();
+  cpu_.Syscall();
+  cpu_.PageCacheLookup();
+  const uint64_t ios = std::max<uint64_t>(1, bytes / (128 * 1024));
+  for (uint64_t i = 0; i < ios; ++i) {
+    cpu_.BlockStackIo();
+  }
+  const uint64_t lbas = std::max<uint64_t>(1, (bytes + nvme::kLbaSize - 1) / nvme::kLbaSize);
+  RETURN_IF_ERROR(nvme_.Read(nsid_, 0, static_cast<uint32_t>(lbas)).status());
+  RETURN_IF_ERROR(dma_.Transfer(ssd_, dram_, bytes).status());
+  cpu_.Interrupt();
+  cpu_.Copy(bytes);  // kernel -> user
+  cpu_.Syscall();    // send()
+  cpu_.Copy(bytes);  // user -> kernel socket buffer
+  const uint64_t packets = std::max<uint64_t>(1, bytes / 1460);
+  for (uint64_t p = 0; p < packets; ++p) {
+    cpu_.NetStackPacket();
+  }
+  RETURN_IF_ERROR(dma_.Transfer(dram_, nic_, bytes).status());
+  return engine_->Now() - start;
+}
+
+Result<sim::Duration> CpuServer::KvOperation(bool is_write, uint64_t value_bytes) {
+  const sim::SimTime start = engine_->Now();
+  cpu_.Interrupt();
+  cpu_.NetStackPacket();
+  cpu_.Syscall();
+  cpu_.Copy(value_bytes + 64);
+  cpu_.Compute(4000);  // index probe/update in userspace
+  const uint64_t lbas = std::max<uint64_t>(1, (value_bytes + nvme::kLbaSize - 1) / nvme::kLbaSize);
+  cpu_.BlockStackIo();
+  if (is_write) {
+    Bytes payload(lbas * nvme::kLbaSize, 0);
+    RETURN_IF_ERROR(nvme_.Write(nsid_, next_lba_, ByteSpan(payload.data(), payload.size())));
+    next_lba_ = (next_lba_ + lbas) % (1u << 19);
+  } else {
+    RETURN_IF_ERROR(nvme_.Read(nsid_, 0, static_cast<uint32_t>(lbas)).status());
+  }
+  cpu_.Syscall();
+  cpu_.Copy(value_bytes + 64);
+  cpu_.NetStackPacket();
+  return engine_->Now() - start;
+}
+
+sim::Duration TimeSharedScheduler::Submit(sim::SimTime arrival, sim::Duration service) {
+  // Pick the earliest-free core.
+  auto it = std::min_element(core_free_at_.begin(), core_free_at_.end());
+  const sim::SimTime start = std::max(arrival, *it);
+  const sim::SimTime done = start + context_switch_ + service;
+  *it = done;
+  const sim::Duration latency = done - arrival;
+  latency_hist_.Record(latency);
+  return latency;
+}
+
+}  // namespace hyperion::baseline

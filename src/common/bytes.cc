@@ -1,0 +1,55 @@
+#include "src/common/bytes.h"
+
+#include <array>
+
+namespace hyperion {
+
+namespace {
+
+// Castagnoli polynomial, reflected.
+constexpr uint32_t kCrc32cPoly = 0x82f63b78u;
+
+std::array<uint32_t, 256> BuildCrc32cTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int b = 0; b < 8; ++b) {
+      crc = (crc & 1) != 0 ? (crc >> 1) ^ kCrc32cPoly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32c(ByteSpan data) {
+  static const std::array<uint32_t, 256> kTable = BuildCrc32cTable();
+  uint32_t crc = 0xffffffffu;
+  for (uint8_t byte : data) {
+    crc = kTable[(crc ^ byte) & 0xff] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+uint64_t Fnv1a64(ByteSpan data) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (uint8_t byte : data) {
+    h ^= byte;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::string ToHex(ByteSpan data) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (uint8_t byte : data) {
+    out.push_back(kDigits[byte >> 4]);
+    out.push_back(kDigits[byte & 0xf]);
+  }
+  return out;
+}
+
+}  // namespace hyperion

@@ -1,0 +1,169 @@
+// Byte-buffer utilities: little-endian encode/decode, checksums, hex dumps.
+//
+// Every on-"disk" and on-"wire" structure in Hyperion serializes through
+// these helpers so the layout is explicit and endian-stable.
+
+#ifndef HYPERION_SRC_COMMON_BYTES_H_
+#define HYPERION_SRC_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace hyperion {
+
+using Bytes = std::vector<uint8_t>;
+using ByteSpan = std::span<const uint8_t>;
+using MutableByteSpan = std::span<uint8_t>;
+
+// -- Little-endian fixed-width append/read ---------------------------------
+
+inline void PutU16(Bytes& out, uint16_t v) {
+  out.push_back(static_cast<uint8_t>(v));
+  out.push_back(static_cast<uint8_t>(v >> 8));
+}
+
+inline void PutU32(Bytes& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+inline void PutU64(Bytes& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+inline void PutBytes(Bytes& out, ByteSpan data) { out.insert(out.end(), data.begin(), data.end()); }
+
+inline void PutString(Bytes& out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+inline uint16_t GetU16(ByteSpan in, size_t offset) {
+  DCHECK_LE(offset + 2, in.size());
+  return static_cast<uint16_t>(in[offset]) | static_cast<uint16_t>(in[offset + 1]) << 8;
+}
+
+inline uint32_t GetU32(ByteSpan in, size_t offset) {
+  DCHECK_LE(offset + 4, in.size());
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | in[offset + static_cast<size_t>(i)];
+  }
+  return v;
+}
+
+inline uint64_t GetU64(ByteSpan in, size_t offset) {
+  DCHECK_LE(offset + 8, in.size());
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | in[offset + static_cast<size_t>(i)];
+  }
+  return v;
+}
+
+// -- Sequential reader ------------------------------------------------------
+
+// Cursor over a byte span; Ok() goes false on overrun instead of crashing so
+// parsers can reject truncated input gracefully.
+class ByteReader {
+ public:
+  explicit ByteReader(ByteSpan data) : data_(data) {}
+
+  bool Ok() const { return ok_; }
+  size_t offset() const { return offset_; }
+  size_t remaining() const { return ok_ ? data_.size() - offset_ : 0; }
+
+  uint8_t ReadU8() {
+    if (!Require(1)) {
+      return 0;
+    }
+    return data_[offset_++];
+  }
+  uint16_t ReadU16() {
+    if (!Require(2)) {
+      return 0;
+    }
+    uint16_t v = GetU16(data_, offset_);
+    offset_ += 2;
+    return v;
+  }
+  uint32_t ReadU32() {
+    if (!Require(4)) {
+      return 0;
+    }
+    uint32_t v = GetU32(data_, offset_);
+    offset_ += 4;
+    return v;
+  }
+  uint64_t ReadU64() {
+    if (!Require(8)) {
+      return 0;
+    }
+    uint64_t v = GetU64(data_, offset_);
+    offset_ += 8;
+    return v;
+  }
+  std::string ReadString() {
+    uint32_t n = ReadU32();
+    if (!Require(n)) {
+      return {};
+    }
+    std::string s(reinterpret_cast<const char*>(data_.data()) + offset_, n);
+    offset_ += n;
+    return s;
+  }
+  Bytes ReadBytes(size_t n) {
+    if (!Require(n)) {
+      return {};
+    }
+    Bytes b(data_.begin() + static_cast<ptrdiff_t>(offset_),
+            data_.begin() + static_cast<ptrdiff_t>(offset_ + n));
+    offset_ += n;
+    return b;
+  }
+  void Skip(size_t n) { Require(n) ? (void)(offset_ += n) : (void)0; }
+
+ private:
+  bool Require(size_t n) {
+    if (!ok_ || data_.size() - offset_ < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  ByteSpan data_;
+  size_t offset_ = 0;
+  bool ok_ = true;
+};
+
+// -- Checksums & formatting -------------------------------------------------
+
+// CRC32C (Castagnoli), bit-reflected, software table implementation. Used by
+// the WAL, SSTables, the segment table snapshot, and the file system to
+// detect torn writes (StatusCode::kDataLoss).
+uint32_t Crc32c(ByteSpan data);
+
+// FNV-1a 64-bit, for hash indexes where crypto strength is irrelevant.
+uint64_t Fnv1a64(ByteSpan data);
+
+// "deadbeef"-style lowercase hex of a buffer (for logs and tests).
+std::string ToHex(ByteSpan data);
+
+// Convenience converters between std::string payloads and Bytes.
+inline Bytes ToBytes(const std::string& s) { return Bytes(s.begin(), s.end()); }
+inline std::string ToString(ByteSpan b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+}  // namespace hyperion
+
+#endif  // HYPERION_SRC_COMMON_BYTES_H_

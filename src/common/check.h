@@ -1,0 +1,94 @@
+// CHECK/DCHECK: invariant enforcement. A failed CHECK aborts the process with
+// the file/line and a streamed message; it is for programmer errors, never
+// for conditions a caller can trigger (those return Status).
+
+#ifndef HYPERION_SRC_COMMON_CHECK_H_
+#define HYPERION_SRC_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace hyperion {
+namespace internal {
+
+// Accumulates the streamed message and aborts on destruction (end of the
+// full expression the CHECK appears in).
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* condition) {
+    stream_ << "CHECK failed at " << file << ":" << line << ": " << condition;
+  }
+
+  [[noreturn]] ~CheckFailure() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailure& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// glog-style voidify: `&` binds looser than `<<`, so the whole streamed
+// chain evaluates before being discarded, and the ternary stays type-`void`.
+struct Voidify {
+  void operator&(const CheckFailure&) {}
+};
+
+}  // namespace internal
+}  // namespace hyperion
+
+#define CHECK(cond)            \
+  (cond) ? (void)0             \
+         : ::hyperion::internal::Voidify() & \
+               ::hyperion::internal::CheckFailure(__FILE__, __LINE__, #cond)
+
+#define CHECK_OP(a, b, op)     \
+  ((a)op(b)) ? (void)0         \
+             : ::hyperion::internal::Voidify() & \
+                   ::hyperion::internal::CheckFailure(__FILE__, __LINE__, #a " " #op " " #b)
+
+#define CHECK_EQ(a, b) CHECK_OP(a, b, ==)
+#define CHECK_NE(a, b) CHECK_OP(a, b, !=)
+#define CHECK_LT(a, b) CHECK_OP(a, b, <)
+#define CHECK_LE(a, b) CHECK_OP(a, b, <=)
+#define CHECK_GT(a, b) CHECK_OP(a, b, >)
+#define CHECK_GE(a, b) CHECK_OP(a, b, >=)
+
+// CHECK_OK(expr): expr must evaluate to an OK Status (or Result). Binds by
+// value (not reference): GCC 12 raises spurious -Wdangling-pointer /
+// -Wmaybe-uninitialized on lifetime-extended shared_ptr members otherwise.
+#define CHECK_OK(expr)                                                         \
+  do {                                                                         \
+    const auto _check_ok_st = (expr);                                          \
+    if (!_check_ok_st.ok()) {                                                  \
+      ::hyperion::internal::CheckFailure(__FILE__, __LINE__, #expr)            \
+          << " -> not OK";                                                     \
+    }                                                                          \
+  } while (0)
+
+#ifndef NDEBUG
+#define DCHECK(cond) CHECK(cond)
+#define DCHECK_EQ(a, b) CHECK_EQ(a, b)
+#define DCHECK_NE(a, b) CHECK_NE(a, b)
+#define DCHECK_LT(a, b) CHECK_LT(a, b)
+#define DCHECK_LE(a, b) CHECK_LE(a, b)
+#define DCHECK_GT(a, b) CHECK_GT(a, b)
+#define DCHECK_GE(a, b) CHECK_GE(a, b)
+#else
+#define DCHECK(cond) CHECK(true || (cond))
+#define DCHECK_EQ(a, b) DCHECK((a) == (b))
+#define DCHECK_NE(a, b) DCHECK((a) != (b))
+#define DCHECK_LT(a, b) DCHECK((a) < (b))
+#define DCHECK_LE(a, b) DCHECK((a) <= (b))
+#define DCHECK_GT(a, b) DCHECK((a) > (b))
+#define DCHECK_GE(a, b) DCHECK((a) >= (b))
+#endif
+
+#endif  // HYPERION_SRC_COMMON_CHECK_H_

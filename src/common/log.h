@@ -1,0 +1,48 @@
+// Minimal leveled logging. Logs go to stderr; the level is a process-wide
+// knob so tests and benches can silence INFO chatter.
+
+#ifndef HYPERION_SRC_COMMON_LOG_H_
+#define HYPERION_SRC_COMMON_LOG_H_
+
+#include <sstream>
+#include <string>
+
+namespace hyperion {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Process-wide minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) {
+      stream_ << v;
+    }
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace hyperion
+
+#define LOG_DEBUG ::hyperion::internal::LogMessage(::hyperion::LogLevel::kDebug, __FILE__, __LINE__)
+#define LOG_INFO ::hyperion::internal::LogMessage(::hyperion::LogLevel::kInfo, __FILE__, __LINE__)
+#define LOG_WARNING \
+  ::hyperion::internal::LogMessage(::hyperion::LogLevel::kWarning, __FILE__, __LINE__)
+#define LOG_ERROR ::hyperion::internal::LogMessage(::hyperion::LogLevel::kError, __FILE__, __LINE__)
+
+#endif  // HYPERION_SRC_COMMON_LOG_H_

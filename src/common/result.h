@@ -1,0 +1,75 @@
+// Result<T>: value-or-Status, the return type of fallible producing calls.
+//
+// Usage:
+//   Result<Segment> r = table.Lookup(id);
+//   if (!r.ok()) return r.status();
+//   Use(r.value());
+//
+// or, inside a function that itself returns Status/Result:
+//   ASSIGN_OR_RETURN(Segment seg, table.Lookup(id));
+
+#ifndef HYPERION_SRC_COMMON_RESULT_H_
+#define HYPERION_SRC_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/common/status.h"
+
+namespace hyperion {
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  // Implicit from a value: `return segment;`.
+  Result(T value) : value_(std::move(value)) {}
+  // Implicit from a non-OK Status: `return NotFound(...)`.
+  Result(Status status) : status_(std::move(status)) {
+    CHECK(!status_.ok()) << "Result constructed from OK status without a value";
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CHECK(ok()) << "value() on error Result: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    CHECK(ok()) << "value() on error Result: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    CHECK(ok()) << "value() on error Result: " << status_.ToString();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Returns the value or `fallback` when this holds an error.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;  // OK iff value_ holds a value
+  std::optional<T> value_;
+};
+
+#define HYPERION_CONCAT_INNER(a, b) a##b
+#define HYPERION_CONCAT(a, b) HYPERION_CONCAT_INNER(a, b)
+
+// ASSIGN_OR_RETURN(lhs, expr): evaluates expr (a Result<T>), propagating the
+// error to the caller, otherwise binding the value to lhs.
+#define ASSIGN_OR_RETURN(lhs, expr)                                    \
+  auto HYPERION_CONCAT(_result_, __LINE__) = (expr);                  \
+  if (!HYPERION_CONCAT(_result_, __LINE__).ok()) {                    \
+    return HYPERION_CONCAT(_result_, __LINE__).status();              \
+  }                                                                    \
+  lhs = std::move(HYPERION_CONCAT(_result_, __LINE__)).value()
+
+}  // namespace hyperion
+
+#endif  // HYPERION_SRC_COMMON_RESULT_H_

@@ -1,0 +1,80 @@
+#include "src/common/status.h"
+
+namespace hyperion {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kAlreadyExists:
+      return "ALREADY_EXISTS";
+    case StatusCode::kOutOfRange:
+      return "OUT_OF_RANGE";
+    case StatusCode::kPermissionDenied:
+      return "PERMISSION_DENIED";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
+    case StatusCode::kDataLoss:
+      return "DATA_LOSS";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+    case StatusCode::kUnimplemented:
+      return "UNIMPLEMENTED";
+    case StatusCode::kAborted:
+      return "ABORTED";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+  }
+  return "UNKNOWN";
+}
+
+Status::Status(StatusCode code, std::string_view message) {
+  if (code != StatusCode::kOk) {
+    rep_ = std::make_shared<const Rep>(Rep{code, std::string(message)});
+  }
+}
+
+std::string Status::ToString() const {
+  if (ok()) {
+    return "OK";
+  }
+  std::string out(StatusCodeName(code()));
+  if (!message().empty()) {
+    out += ": ";
+    out += message();
+  }
+  return out;
+}
+
+Status InvalidArgument(std::string_view message) {
+  return Status(StatusCode::kInvalidArgument, message);
+}
+Status NotFound(std::string_view message) { return Status(StatusCode::kNotFound, message); }
+Status AlreadyExists(std::string_view message) {
+  return Status(StatusCode::kAlreadyExists, message);
+}
+Status OutOfRange(std::string_view message) { return Status(StatusCode::kOutOfRange, message); }
+Status PermissionDenied(std::string_view message) {
+  return Status(StatusCode::kPermissionDenied, message);
+}
+Status Unavailable(std::string_view message) { return Status(StatusCode::kUnavailable, message); }
+Status DataLoss(std::string_view message) { return Status(StatusCode::kDataLoss, message); }
+Status Internal(std::string_view message) { return Status(StatusCode::kInternal, message); }
+Status Unimplemented(std::string_view message) {
+  return Status(StatusCode::kUnimplemented, message);
+}
+Status Aborted(std::string_view message) { return Status(StatusCode::kAborted, message); }
+Status DeadlineExceeded(std::string_view message) {
+  return Status(StatusCode::kDeadlineExceeded, message);
+}
+Status ResourceExhausted(std::string_view message) {
+  return Status(StatusCode::kResourceExhausted, message);
+}
+
+}  // namespace hyperion

@@ -1,0 +1,95 @@
+// Status: lightweight error propagation for fallible operations.
+//
+// Libraries in Hyperion do not throw exceptions across their API boundaries
+// (C++ Core Guidelines E.x applied to a systems context); fallible calls
+// return Status or Result<T> (see result.h) instead. A Status is cheap to
+// copy in the OK case (no allocation) and carries a code plus a diagnostic
+// message otherwise.
+
+#ifndef HYPERION_SRC_COMMON_STATUS_H_
+#define HYPERION_SRC_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace hyperion {
+
+// Canonical error space, modelled on the POSIX/absl intersection that a
+// storage/network stack actually needs.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,   // caller passed something malformed
+  kNotFound = 2,          // key / segment / file absent
+  kAlreadyExists = 3,     // create-exclusive collision
+  kOutOfRange = 4,        // offset past end, capacity exceeded
+  kPermissionDenied = 5,  // isolation / verifier rejection
+  kUnavailable = 6,       // transient: queue full, link down, retry may help
+  kDataLoss = 7,          // checksum mismatch, torn write detected
+  kInternal = 8,          // invariant violated inside the library
+  kUnimplemented = 9,     // feature intentionally absent
+  kAborted = 10,          // transaction / request aborted (conflict)
+  kDeadlineExceeded = 11, // simulated timeout expired
+  kResourceExhausted = 12 // no slots / blocks / credits left
+};
+
+// Human-readable name of a StatusCode ("OK", "NOT_FOUND", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+class [[nodiscard]] Status {
+ public:
+  // Default-constructed Status is OK.
+  Status() = default;
+
+  Status(StatusCode code, std::string_view message);
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ == nullptr ? StatusCode::kOk : rep_->code; }
+  std::string_view message() const {
+    return rep_ == nullptr ? std::string_view() : std::string_view(rep_->message);
+  }
+
+  // "OK" or "NOT_FOUND: no such segment".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code() == b.code() && a.message() == b.message();
+  }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  // Null for OK: the success path never allocates.
+  std::shared_ptr<const Rep> rep_;
+};
+
+// Factory helpers so call sites read as `return NotFound("segment ...")`.
+Status InvalidArgument(std::string_view message);
+Status NotFound(std::string_view message);
+Status AlreadyExists(std::string_view message);
+Status OutOfRange(std::string_view message);
+Status PermissionDenied(std::string_view message);
+Status Unavailable(std::string_view message);
+Status DataLoss(std::string_view message);
+Status Internal(std::string_view message);
+Status Unimplemented(std::string_view message);
+Status Aborted(std::string_view message);
+Status DeadlineExceeded(std::string_view message);
+Status ResourceExhausted(std::string_view message);
+
+// Propagate a non-OK status to the caller.
+#define RETURN_IF_ERROR(expr)                 \
+  do {                                        \
+    ::hyperion::Status _st = (expr);          \
+    if (!_st.ok()) {                          \
+      return _st;                             \
+    }                                         \
+  } while (0)
+
+}  // namespace hyperion
+
+#endif  // HYPERION_SRC_COMMON_STATUS_H_

@@ -1,0 +1,55 @@
+#include "src/common/u128.h"
+
+#include <array>
+
+namespace hyperion {
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') {
+    return c - '0';
+  }
+  if (c >= 'a' && c <= 'f') {
+    return c - 'a' + 10;
+  }
+  if (c >= 'A' && c <= 'F') {
+    return c - 'A' + 10;
+  }
+  return -1;
+}
+}  // namespace
+
+std::string U128::ToHex() const {
+  std::string out(32, '0');
+  uint64_t parts[2] = {hi, lo};
+  for (int p = 0; p < 2; ++p) {
+    uint64_t v = parts[p];
+    for (int i = 15; i >= 0; --i) {
+      out[p * 16 + i] = kHexDigits[v & 0xf];
+      v >>= 4;
+    }
+  }
+  return out;
+}
+
+bool U128::FromHex(const std::string& hex, U128* out) {
+  if (hex.empty() || hex.size() > 32) {
+    return false;
+  }
+  U128 v;
+  for (char c : hex) {
+    int d = HexValue(c);
+    if (d < 0) {
+      return false;
+    }
+    // v = v * 16 + d, 128-bit shift-left by 4.
+    v.hi = (v.hi << 4) | (v.lo >> 60);
+    v.lo = (v.lo << 4) | static_cast<uint64_t>(d);
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace hyperion

@@ -1,0 +1,42 @@
+// Client-side remote B+ tree access: the two pointer-chasing modes of
+// experiment E5.
+//
+// RemoteTreeClient::ClientDrivenGet walks the tree from the client: every
+// node is fetched over the network with a TreeOp::kReadNode RPC and parsed
+// locally, costing height-many dependent round trips — the disaggregation
+// pattern the paper calls out as latency-broken. OffloadedGet issues one
+// TreeOp::kGet and lets the DPU chase pointers next to the data: one round
+// trip regardless of height.
+
+#ifndef HYPERION_SRC_DPU_REMOTE_TREE_H_
+#define HYPERION_SRC_DPU_REMOTE_TREE_H_
+
+#include <cstdint>
+
+#include "src/dpu/rpc.h"
+
+namespace hyperion::dpu {
+
+class RemoteTreeClient {
+ public:
+  explicit RemoteTreeClient(RpcClient* rpc) : rpc_(rpc) {}
+
+  // One RPC; the walk happens on the DPU.
+  Result<Bytes> OffloadedGet(uint64_t key);
+
+  // Height-many RPCs; the walk happens here.
+  Result<Bytes> ClientDrivenGet(uint64_t key);
+
+  uint64_t rpcs_issued() const { return rpcs_issued_; }
+  void ResetStats() { rpcs_issued_ = 0; }
+
+ private:
+  Result<Bytes> CallTree(uint16_t opcode, Bytes payload);
+
+  RpcClient* rpc_;
+  uint64_t rpcs_issued_ = 0;
+};
+
+}  // namespace hyperion::dpu
+
+#endif  // HYPERION_SRC_DPU_REMOTE_TREE_H_

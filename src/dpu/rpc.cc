@@ -1,0 +1,79 @@
+#include "src/dpu/rpc.h"
+
+namespace hyperion::dpu {
+
+Bytes SerializeRequest(const RpcRequest& request) {
+  Bytes out;
+  PutU16(out, static_cast<uint16_t>(request.service));
+  PutU16(out, request.opcode);
+  PutU32(out, static_cast<uint32_t>(request.payload.size()));
+  PutBytes(out, ByteSpan(request.payload.data(), request.payload.size()));
+  return out;
+}
+
+Result<RpcRequest> ParseRequest(ByteSpan data) {
+  ByteReader reader(data);
+  RpcRequest request;
+  request.service = static_cast<ServiceId>(reader.ReadU16());
+  request.opcode = reader.ReadU16();
+  const uint32_t len = reader.ReadU32();
+  request.payload = reader.ReadBytes(len);
+  if (!reader.Ok()) {
+    return DataLoss("truncated RPC request");
+  }
+  return request;
+}
+
+Bytes SerializeResponse(const RpcResponse& response) {
+  Bytes out;
+  PutU32(out, static_cast<uint32_t>(response.status.code()));
+  PutString(out, std::string(response.status.message()));
+  PutU32(out, static_cast<uint32_t>(response.payload.size()));
+  PutBytes(out, ByteSpan(response.payload.data(), response.payload.size()));
+  return out;
+}
+
+Result<RpcResponse> ParseResponse(ByteSpan data) {
+  ByteReader reader(data);
+  RpcResponse response;
+  const auto code = static_cast<StatusCode>(reader.ReadU32());
+  const std::string message = reader.ReadString();
+  response.status = code == StatusCode::kOk ? Status::Ok() : Status(code, message);
+  const uint32_t len = reader.ReadU32();
+  response.payload = reader.ReadBytes(len);
+  if (!reader.Ok()) {
+    return DataLoss("truncated RPC response");
+  }
+  return response;
+}
+
+void RpcServer::RegisterService(ServiceId service, Handler handler) {
+  handlers_[service] = std::move(handler);
+}
+
+RpcResponse RpcServer::Dispatch(const RpcRequest& request) {
+  counters_.Increment("rpcs");
+  auto it = handlers_.find(request.service);
+  if (it == handlers_.end()) {
+    counters_.Increment("rpc_unknown_service");
+    return RpcResponse::Fail(NotFound("no such service"));
+  }
+  return it->second(request.opcode, ByteSpan(request.payload.data(), request.payload.size()));
+}
+
+Result<RpcResponse> RpcClient::Call(const RpcRequest& request) {
+  const Bytes wire_request = SerializeRequest(request);
+  // Request flight.
+  RETURN_IF_ERROR(transport_->Send(self_, server_, wire_request.size()).status());
+  // Execution at the DPU (advances the shared clock).
+  RpcResponse response = peer_->Dispatch(request);
+  // Response flight.
+  const Bytes wire_response = SerializeResponse(response);
+  RETURN_IF_ERROR(transport_->Send(server_, self_, wire_response.size()).status());
+  // Model the decode round trip through the serializers for fidelity.
+  ASSIGN_OR_RETURN(RpcResponse decoded,
+                   ParseResponse(ByteSpan(wire_response.data(), wire_response.size())));
+  return decoded;
+}
+
+}  // namespace hyperion::dpu

@@ -1,0 +1,89 @@
+// Willow-style flexible RPC (paper §2.4, citing Willow [146]).
+//
+// Willow's insight — which Hyperion adopts for its mixed-workload client
+// interface — is that a programmable storage device should expose an RPC
+// fabric rather than a fixed command set: services (KV, tree, shared log,
+// control) register handlers, and the interface can be specialized
+// end-to-end with the network transport underneath. Requests and responses
+// are length-delimited byte payloads; the client side charges the chosen
+// transport for both directions, so every experiment sees real wire costs.
+
+#ifndef HYPERION_SRC_DPU_RPC_H_
+#define HYPERION_SRC_DPU_RPC_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "src/common/bytes.h"
+#include "src/common/result.h"
+#include "src/net/transport.h"
+#include "src/sim/stats.h"
+
+namespace hyperion::dpu {
+
+enum class ServiceId : uint16_t {
+  kControl = 0,  // OS-shell: bitstream load, accelerator deploy, stats
+  kKv = 1,
+  kTree = 2,
+  kLog = 3,
+  kBlock = 4,  // NVMe-oF-style block-level access to the attached SSDs
+  kFile = 5,   // virtio-fs/DPFS-style remote file access (annotation-driven)
+  kApp = 6,    // Willow-style user RPC: opcode = accelerator id, payload = ctx
+};
+
+struct RpcRequest {
+  ServiceId service = ServiceId::kControl;
+  uint16_t opcode = 0;
+  Bytes payload;
+};
+
+struct RpcResponse {
+  Status status;
+  Bytes payload;
+
+  static RpcResponse Ok(Bytes payload = {}) { return RpcResponse{Status::Ok(), std::move(payload)}; }
+  static RpcResponse Fail(Status status) { return RpcResponse{std::move(status), {}}; }
+};
+
+Bytes SerializeRequest(const RpcRequest& request);
+Result<RpcRequest> ParseRequest(ByteSpan data);
+Bytes SerializeResponse(const RpcResponse& response);
+Result<RpcResponse> ParseResponse(ByteSpan data);
+
+// Server-side dispatch table. Handlers run on the DPU and advance the
+// shared virtual clock by whatever work they do.
+class RpcServer {
+ public:
+  using Handler = std::function<RpcResponse(uint16_t opcode, ByteSpan payload)>;
+
+  void RegisterService(ServiceId service, Handler handler);
+  RpcResponse Dispatch(const RpcRequest& request);
+
+  const sim::Counters& counters() const { return counters_; }
+
+ private:
+  std::map<ServiceId, Handler> handlers_;
+  sim::Counters counters_;
+};
+
+// Client stub: serializes, pays the transport both ways, and invokes the
+// server's dispatch at the far end.
+class RpcClient {
+ public:
+  RpcClient(net::Transport* transport, net::HostId self, net::HostId server, RpcServer* peer)
+      : transport_(transport), self_(self), server_(server), peer_(peer) {}
+
+  Result<RpcResponse> Call(const RpcRequest& request);
+
+ private:
+  net::Transport* transport_;
+  net::HostId self_;
+  net::HostId server_;
+  RpcServer* peer_;
+};
+
+}  // namespace hyperion::dpu
+
+#endif  // HYPERION_SRC_DPU_RPC_H_

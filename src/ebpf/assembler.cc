@@ -1,0 +1,418 @@
+#include "src/ebpf/assembler.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+namespace hyperion::ebpf {
+
+namespace {
+
+struct Token {
+  std::string text;
+};
+
+// Splits a line into tokens, treating ',' '[' ']' as separators and
+// stripping ';' comments.
+std::vector<std::string> Tokenize(std::string_view line) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : line) {
+    if (c == ';') {
+      break;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) || c == ',' || c == '[' || c == ']') {
+      if (!current.empty()) {
+        tokens.push_back(std::move(current));
+        current.clear();
+      }
+      continue;
+    }
+    current.push_back(c);
+  }
+  if (!current.empty()) {
+    tokens.push_back(std::move(current));
+  }
+  return tokens;
+}
+
+Status LineError(size_t line_no, const std::string& what) {
+  std::ostringstream os;
+  os << "line " << line_no << ": " << what;
+  return InvalidArgument(os.str());
+}
+
+std::optional<uint8_t> ParseReg(const std::string& t) {
+  if (t.size() < 2 || (t[0] != 'r' && t[0] != 'R')) {
+    return std::nullopt;
+  }
+  int n = 0;
+  for (size_t i = 1; i < t.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(t[i]))) {
+      return std::nullopt;
+    }
+    n = n * 10 + (t[i] - '0');
+  }
+  if (n < 0 || n >= kNumRegisters) {
+    return std::nullopt;
+  }
+  return static_cast<uint8_t>(n);
+}
+
+std::optional<int64_t> ParseImm(const std::string& t) {
+  if (t.empty()) {
+    return std::nullopt;
+  }
+  size_t i = 0;
+  bool negative = false;
+  if (t[0] == '-' || t[0] == '+') {
+    negative = t[0] == '-';
+    i = 1;
+  }
+  if (i >= t.size()) {
+    return std::nullopt;
+  }
+  int base = 10;
+  if (t.size() > i + 2 && t[i] == '0' && (t[i + 1] == 'x' || t[i + 1] == 'X')) {
+    base = 16;
+    i += 2;
+  }
+  int64_t v = 0;
+  for (; i < t.size(); ++i) {
+    const char c = static_cast<char>(std::tolower(static_cast<unsigned char>(t[i])));
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (base == 16 && c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else {
+      return std::nullopt;
+    }
+    v = v * base + digit;
+  }
+  return negative ? -v : v;
+}
+
+// "rN+off" or "rN-off" or "rN" -> (reg, off).
+std::optional<std::pair<uint8_t, int16_t>> ParseMemOperand(const std::string& t) {
+  size_t split = t.find_first_of("+-", 1);
+  std::string reg_part = split == std::string::npos ? t : t.substr(0, split);
+  auto reg = ParseReg(reg_part);
+  if (!reg.has_value()) {
+    return std::nullopt;
+  }
+  int16_t off = 0;
+  if (split != std::string::npos) {
+    auto imm = ParseImm(t.substr(split));
+    if (!imm.has_value() || *imm < -32768 || *imm > 32767) {
+      return std::nullopt;
+    }
+    off = static_cast<int16_t>(*imm);
+  }
+  return std::make_pair(*reg, off);
+}
+
+const std::map<std::string, uint8_t>& AluOps() {
+  static const std::map<std::string, uint8_t> kOps = {
+      {"add", kAluAdd}, {"sub", kAluSub},   {"mul", kAluMul}, {"div", kAluDiv},
+      {"or", kAluOr},   {"and", kAluAnd},   {"lsh", kAluLsh}, {"rsh", kAluRsh},
+      {"mod", kAluMod}, {"xor", kAluXor},   {"mov", kAluMov}, {"arsh", kAluArsh},
+      {"neg", kAluNeg},
+  };
+  return kOps;
+}
+
+const std::map<std::string, uint8_t>& JmpOps() {
+  static const std::map<std::string, uint8_t> kOps = {
+      {"jeq", kJmpJeq},   {"jne", kJmpJne},   {"jgt", kJmpJgt},   {"jge", kJmpJge},
+      {"jlt", kJmpJlt},   {"jle", kJmpJle},   {"jset", kJmpJset}, {"jsgt", kJmpJsgt},
+      {"jsge", kJmpJsge}, {"jslt", kJmpJslt}, {"jsle", kJmpJsle},
+  };
+  return kOps;
+}
+
+std::optional<uint8_t> SizeFromSuffix(const std::string& mnemonic, const std::string& prefix) {
+  const std::string suffix = mnemonic.substr(prefix.size());
+  if (suffix == "b") {
+    return kSizeB;
+  }
+  if (suffix == "h") {
+    return kSizeH;
+  }
+  if (suffix == "w") {
+    return kSizeW;
+  }
+  if (suffix == "dw") {
+    return kSizeDw;
+  }
+  return std::nullopt;
+}
+
+std::optional<HelperId> HelperByName(const std::string& name) {
+  if (name == "map_lookup") {
+    return HelperId::kMapLookup;
+  }
+  if (name == "map_update") {
+    return HelperId::kMapUpdate;
+  }
+  if (name == "map_delete") {
+    return HelperId::kMapDelete;
+  }
+  if (name == "ktime") {
+    return HelperId::kKtimeGetNs;
+  }
+  if (name == "prandom") {
+    return HelperId::kGetPrandomU32;
+  }
+  return std::nullopt;
+}
+
+struct PendingJump {
+  size_t insn_index;  // index of the jump in the emitted stream
+  std::string label;
+  size_t line_no;
+};
+
+}  // namespace
+
+Result<Program> Assemble(std::string_view source, std::string name, uint32_t ctx_size) {
+  Program prog;
+  prog.name = std::move(name);
+  prog.ctx_size = ctx_size;
+
+  std::map<std::string, size_t> labels;  // label -> insn index
+  std::vector<PendingJump> pending;
+
+  std::istringstream stream{std::string(source)};
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    std::vector<std::string> tokens = Tokenize(line);
+    if (tokens.empty()) {
+      continue;
+    }
+    // Label definitions.
+    if (tokens[0].back() == ':') {
+      std::string label = tokens[0].substr(0, tokens[0].size() - 1);
+      if (label.empty()) {
+        return LineError(line_no, "empty label");
+      }
+      if (!labels.emplace(label, prog.insns.size()).second) {
+        return LineError(line_no, "duplicate label '" + label + "'");
+      }
+      tokens.erase(tokens.begin());
+      if (tokens.empty()) {
+        continue;
+      }
+    }
+    std::string m = tokens[0];
+    std::transform(m.begin(), m.end(), m.begin(),
+                   [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+
+    if (m == "exit") {
+      prog.insns.push_back(Exit());
+      continue;
+    }
+    if (m == "call") {
+      if (tokens.size() != 2) {
+        return LineError(line_no, "call takes one operand");
+      }
+      auto helper = HelperByName(tokens[1]);
+      if (!helper.has_value()) {
+        auto imm = ParseImm(tokens[1]);
+        if (!imm.has_value()) {
+          return LineError(line_no, "unknown helper '" + tokens[1] + "'");
+        }
+        helper = static_cast<HelperId>(*imm);
+      }
+      prog.insns.push_back(Call(*helper));
+      continue;
+    }
+    if (m == "ja") {
+      if (tokens.size() != 2) {
+        return LineError(line_no, "ja takes a label");
+      }
+      pending.push_back({prog.insns.size(), tokens[1], line_no});
+      prog.insns.push_back(JumpAlways(0));
+      continue;
+    }
+    if (m == "ld_imm64" || m == "ld_map_fd") {
+      if (tokens.size() != 3) {
+        return LineError(line_no, m + " takes reg, imm");
+      }
+      auto reg = ParseReg(tokens[1]);
+      auto imm = ParseImm(tokens[2]);
+      if (!reg.has_value() || !imm.has_value()) {
+        return LineError(line_no, "bad operands for " + m);
+      }
+      if (m == "ld_map_fd") {
+        LoadMapFd(prog.insns, *reg, static_cast<uint32_t>(*imm));
+      } else {
+        LoadImm64(prog.insns, *reg, static_cast<uint64_t>(*imm));
+      }
+      continue;
+    }
+    // Endian swaps: be16/be32/be64/le16/le32/le64 rN
+    if ((m.rfind("be", 0) == 0 || m.rfind("le", 0) == 0) && m.size() > 2 &&
+        std::isdigit(static_cast<unsigned char>(m[2]))) {
+      auto bits = ParseImm(m.substr(2));
+      if (bits.has_value() && (*bits == 16 || *bits == 32 || *bits == 64)) {
+        if (tokens.size() != 2) {
+          return LineError(line_no, m + " takes one register");
+        }
+        auto reg = ParseReg(tokens[1]);
+        if (!reg.has_value()) {
+          return LineError(line_no, "bad register");
+        }
+        prog.insns.push_back(EndianSwap(*reg, m[0] == 'b', static_cast<int32_t>(*bits)));
+        continue;
+      }
+    }
+    // Atomic add: xaddw/xadddw [rN+off], src
+    if (m == "xaddw" || m == "xadddw") {
+      if (tokens.size() != 3) {
+        return LineError(line_no, "xadd takes [rN+off], src");
+      }
+      auto mem = ParseMemOperand(tokens[1]);
+      auto src = ParseReg(tokens[2]);
+      if (!mem.has_value() || !src.has_value()) {
+        return LineError(line_no, "bad xadd operands");
+      }
+      prog.insns.push_back(
+          AtomicAdd(m == "xaddw" ? kSizeW : kSizeDw, mem->first, mem->second, *src));
+      continue;
+    }
+    // Loads: ldx{b,h,w,dw} dst, [rN+off]
+    if (m.rfind("ldx", 0) == 0) {
+      auto size = SizeFromSuffix(m, "ldx");
+      if (!size.has_value() || tokens.size() != 3) {
+        return LineError(line_no, "bad load");
+      }
+      auto dst = ParseReg(tokens[1]);
+      auto mem = ParseMemOperand(tokens[2]);
+      if (!dst.has_value() || !mem.has_value()) {
+        return LineError(line_no, "bad load operands");
+      }
+      prog.insns.push_back(LoadMem(*size, *dst, mem->first, mem->second));
+      continue;
+    }
+    // Stores: stx{sz} [rN+off], src   |   st{sz} [rN+off], imm
+    if (m.rfind("stx", 0) == 0) {
+      auto size = SizeFromSuffix(m, "stx");
+      if (!size.has_value() || tokens.size() != 3) {
+        return LineError(line_no, "bad store");
+      }
+      auto mem = ParseMemOperand(tokens[1]);
+      auto src = ParseReg(tokens[2]);
+      if (!mem.has_value() || !src.has_value()) {
+        return LineError(line_no, "bad store operands");
+      }
+      prog.insns.push_back(StoreReg(*size, mem->first, mem->second, *src));
+      continue;
+    }
+    if (m.rfind("st", 0) == 0 && m != "stx") {
+      auto size = SizeFromSuffix(m, "st");
+      if (size.has_value()) {
+        if (tokens.size() != 3) {
+          return LineError(line_no, "bad store");
+        }
+        auto mem = ParseMemOperand(tokens[1]);
+        auto imm = ParseImm(tokens[2]);
+        if (!mem.has_value() || !imm.has_value()) {
+          return LineError(line_no, "bad store operands");
+        }
+        prog.insns.push_back(
+            StoreImm(*size, mem->first, mem->second, static_cast<int32_t>(*imm)));
+        continue;
+      }
+    }
+    // Conditional jumps: jcc dst, (reg|imm), label
+    {
+      std::string base = m;
+      bool is32 = false;
+      if (base.size() > 2 && base.substr(base.size() - 2) == "32") {
+        base = base.substr(0, base.size() - 2);
+        is32 = true;
+      }
+      auto jmp_it = JmpOps().find(base);
+      if (jmp_it != JmpOps().end()) {
+        if (tokens.size() != 4) {
+          return LineError(line_no, "jump takes dst, src, label");
+        }
+        auto dst = ParseReg(tokens[1]);
+        if (!dst.has_value()) {
+          return LineError(line_no, "bad jump dst");
+        }
+        pending.push_back({prog.insns.size(), tokens[3], line_no});
+        const uint8_t cls = is32 ? kClassJmp32 : kClassJmp;
+        auto src_reg = ParseReg(tokens[2]);
+        if (src_reg.has_value()) {
+          prog.insns.push_back(Insn{static_cast<uint8_t>(cls | jmp_it->second | kSrcX), *dst,
+                                    *src_reg, 0, 0});
+        } else {
+          auto imm = ParseImm(tokens[2]);
+          if (!imm.has_value()) {
+            return LineError(line_no, "bad jump comparand");
+          }
+          prog.insns.push_back(Insn{static_cast<uint8_t>(cls | jmp_it->second | kSrcK), *dst, 0,
+                                    0, static_cast<int32_t>(*imm)});
+        }
+        continue;
+      }
+      // ALU: op[32] dst, (reg|imm)  — also neg with single operand.
+      auto alu_it = AluOps().find(base);
+      if (alu_it != AluOps().end()) {
+        const uint8_t cls = is32 ? kClassAlu : kClassAlu64;
+        auto dst = tokens.size() >= 2 ? ParseReg(tokens[1]) : std::nullopt;
+        if (!dst.has_value()) {
+          return LineError(line_no, "bad ALU dst");
+        }
+        if (alu_it->second == kAluNeg) {
+          if (tokens.size() != 2) {
+            return LineError(line_no, "neg takes one register");
+          }
+          prog.insns.push_back(Insn{static_cast<uint8_t>(cls | kAluNeg | kSrcK), *dst, 0, 0, 0});
+          continue;
+        }
+        if (tokens.size() != 3) {
+          return LineError(line_no, "ALU op takes dst, src");
+        }
+        auto src_reg = ParseReg(tokens[2]);
+        if (src_reg.has_value()) {
+          prog.insns.push_back(
+              Insn{static_cast<uint8_t>(cls | alu_it->second | kSrcX), *dst, *src_reg, 0, 0});
+        } else {
+          auto imm = ParseImm(tokens[2]);
+          if (!imm.has_value()) {
+            return LineError(line_no, "bad ALU operand '" + tokens[2] + "'");
+          }
+          prog.insns.push_back(Insn{static_cast<uint8_t>(cls | alu_it->second | kSrcK), *dst, 0,
+                                    0, static_cast<int32_t>(*imm)});
+        }
+        continue;
+      }
+    }
+    return LineError(line_no, "unknown mnemonic '" + tokens[0] + "'");
+  }
+
+  // Resolve labels.
+  for (const PendingJump& jump : pending) {
+    auto it = labels.find(jump.label);
+    if (it == labels.end()) {
+      return LineError(jump.line_no, "undefined label '" + jump.label + "'");
+    }
+    const int64_t off = static_cast<int64_t>(it->second) -
+                        (static_cast<int64_t>(jump.insn_index) + 1);
+    if (off < -32768 || off > 32767) {
+      return LineError(jump.line_no, "jump offset out of range");
+    }
+    prog.insns[jump.insn_index].off = static_cast<int16_t>(off);
+  }
+  return prog;
+}
+
+}  // namespace hyperion::ebpf

@@ -1,0 +1,52 @@
+// Minimal eBPF text assembler.
+//
+// Hyperion accepts any eBPF-producing frontend (§2.2: clang/LLVM from C,
+// P4-to-eBPF, ...); for tests, examples and benches this repository ships a
+// small assembler so programs are written in readable mnemonics instead of
+// handcoded instruction structs. Syntax, one instruction per line:
+//
+//   ; fail2ban-style SYN counter
+//   ldxb r3, [r1+47]          ; load TCP flags
+//   and r3, 0x02
+//   jeq r3, 0, pass
+//   ld_map_fd r1, 0
+//   mov r2, r10
+//   add r2, -4
+//   call map_lookup
+//   jne r0, 0, found
+//   mov r0, 1
+//   exit
+// pass:
+//   mov r0, 0
+//   exit
+// found:
+//   ldxdw r4, [r0+0]
+//   add r4, 1
+//   stxdw [r0+0], r4
+//   mov r0, 2
+//   exit
+//
+// Labels end with ':'; jump targets are labels; `call` accepts helper names
+// (map_lookup, map_update, map_delete, ktime, prandom) or numeric ids.
+// Immediates accept decimal and 0x-hex. `32`-suffixed ALU mnemonics (e.g.
+// add32) operate on the low word.
+
+#ifndef HYPERION_SRC_EBPF_ASSEMBLER_H_
+#define HYPERION_SRC_EBPF_ASSEMBLER_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/common/result.h"
+#include "src/ebpf/insn.h"
+
+namespace hyperion::ebpf {
+
+// Assembles `source` into a Program named `name`. Returns kInvalidArgument
+// with line diagnostics on syntax errors.
+Result<Program> Assemble(std::string_view source, std::string name = "prog",
+                         uint32_t ctx_size = 1514);
+
+}  // namespace hyperion::ebpf
+
+#endif  // HYPERION_SRC_EBPF_ASSEMBLER_H_

@@ -1,0 +1,103 @@
+#include "src/ebpf/frontend.h"
+
+#include "src/common/check.h"
+
+namespace hyperion::ebpf {
+
+namespace {
+
+uint8_t SizeFieldFor(uint8_t width) {
+  switch (width) {
+    case 1:
+      return kSizeB;
+    case 2:
+      return kSizeH;
+    case 4:
+      return kSizeW;
+    case 8:
+      return kSizeDw;
+  }
+  return 0xff;
+}
+
+uint64_t WidthMask(uint8_t width) {
+  return width == 8 ? ~0ull : (1ull << (width * 8)) - 1;
+}
+
+}  // namespace
+
+Result<Program> CompileMatchAction(const MatchActionTable& table) {
+  Program prog;
+  prog.name = table.name;
+  prog.ctx_size = table.ctx_size;
+
+  for (size_t r = 0; r < table.rules.size(); ++r) {
+    const MatchActionRule& rule = table.rules[r];
+    std::vector<Insn> body;
+    // Positions (within `body`) of jne instructions that must jump to the
+    // next rule (i.e. past the end of this rule's body).
+    std::vector<size_t> fixups;
+
+    for (const FieldMatch& match : rule.matches) {
+      const uint8_t size_field = SizeFieldFor(match.width);
+      if (size_field == 0xff) {
+        return InvalidArgument("field width must be 1/2/4/8");
+      }
+      if (static_cast<uint32_t>(match.offset) + match.width > table.ctx_size) {
+        return InvalidArgument("field match reads past ctx_size");
+      }
+      if (match.big_endian && match.width == 1) {
+        return InvalidArgument("big_endian is meaningless for 1-byte fields");
+      }
+      // r3 = packet field.
+      body.push_back(LoadMem(size_field, 3, 1, static_cast<int16_t>(match.offset)));
+      if (match.big_endian) {
+        body.push_back(EndianSwap(3, true, match.width * 8));
+      }
+      const uint64_t effective_mask = match.mask & WidthMask(match.width);
+      if (effective_mask != WidthMask(match.width)) {
+        LoadImm64(body, 4, effective_mask);
+        body.push_back(Alu64Reg(kAluAnd, 3, 4));
+      }
+      // r4 = expected; mismatch -> next rule.
+      LoadImm64(body, 4, match.value & effective_mask);
+      fixups.push_back(body.size());
+      body.push_back(JumpReg(kJmpJne, 3, 4, /*off=*/0));
+    }
+
+    // Matched: optional counter bump, then verdict.
+    if (rule.count_index.has_value()) {
+      if (!table.counter_map.has_value()) {
+        return InvalidArgument("counting rule without a counter map");
+      }
+      body.push_back(StoreImm(kSizeW, 10, -4, static_cast<int32_t>(*rule.count_index)));
+      LoadMapFd(body, 1, *table.counter_map);
+      body.push_back(Mov64Reg(2, 10));
+      body.push_back(Alu64Imm(kAluAdd, 2, -4));
+      body.push_back(Call(HelperId::kMapLookup));
+      // Null check (the verifier insists, and rightly so).
+      body.push_back(JumpImm(kJmpJeq, 0, 0, /*off=*/2));
+      body.push_back(Mov64Imm(4, 1));
+      body.push_back(AtomicAdd(kSizeDw, 0, 0, 4));
+    }
+    LoadImm64(body, 0, rule.verdict);
+    body.push_back(Exit());
+
+    // Patch the next-rule jumps to land one past this rule's body.
+    for (size_t pos : fixups) {
+      const int64_t off = static_cast<int64_t>(body.size()) - static_cast<int64_t>(pos) - 1;
+      if (off > 32767) {
+        return InvalidArgument("rule body too large");
+      }
+      body[pos].off = static_cast<int16_t>(off);
+    }
+    prog.insns.insert(prog.insns.end(), body.begin(), body.end());
+  }
+
+  // Default action.
+  LoadImm64(prog.insns, 0, table.default_verdict);
+  prog.insns.push_back(Exit());
+  return prog;
+}
+
+}  // namespace hyperion::ebpf

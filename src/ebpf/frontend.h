@@ -1,0 +1,57 @@
+// Match-action frontend: a tiny P4-flavoured packet-classification language
+// that compiles to eBPF (paper §2.2: "Hyperion can use any eBPF-supporting
+// programming language as a frontend ... there are P4 to eBPF compilers
+// available" for filtering and forwarding).
+//
+// A program is an ordered rule list. Each rule matches header fields
+// (byte-offset + width + expected value, optionally masked) and yields an
+// action (a verdict, optionally counting the hit in a map). The first
+// matching rule wins; a default action closes the table. The generated
+// eBPF passes the verifier by construction, and because it is branchy,
+// shallow, and loop-free it compiles to an efficient spatial pipeline.
+
+#ifndef HYPERION_SRC_EBPF_FRONTEND_H_
+#define HYPERION_SRC_EBPF_FRONTEND_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/ebpf/insn.h"
+
+namespace hyperion::ebpf {
+
+struct FieldMatch {
+  uint16_t offset = 0;   // byte offset into the packet
+  uint8_t width = 1;     // 1, 2, 4, or 8 bytes
+  uint64_t value = 0;    // expected value (after masking)
+  uint64_t mask = ~0ull; // applied before comparison
+  bool big_endian = false;  // convert the loaded field from network order
+};
+
+struct MatchActionRule {
+  std::vector<FieldMatch> matches;  // all must hold (AND)
+  uint64_t verdict = 0;             // program return value on match
+  // When set, increments the 8-byte counter at this index of an array map
+  // (map id supplied at compile time).
+  std::optional<uint32_t> count_index;
+};
+
+struct MatchActionTable {
+  std::string name = "match_action";
+  std::vector<MatchActionRule> rules;
+  uint64_t default_verdict = 0;
+  // Array map for counters (required if any rule counts).
+  std::optional<uint32_t> counter_map;
+  uint32_t ctx_size = 1514;
+};
+
+// Lowers the table to eBPF. The result still goes through Verify() on the
+// DPU — the frontend is untrusted like any other.
+Result<Program> CompileMatchAction(const MatchActionTable& table);
+
+}  // namespace hyperion::ebpf
+
+#endif  // HYPERION_SRC_EBPF_FRONTEND_H_

@@ -1,0 +1,458 @@
+#include "src/format/parquet.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <memory>
+
+#include "src/common/check.h"
+
+namespace hyperion::format {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x31515048;  // "HPQ1" little-endian
+
+// -- Chunk encoders -----------------------------------------------------
+
+Bytes EncodeInt64Plain(const std::vector<int64_t>& values, size_t begin, size_t end) {
+  Bytes out;
+  out.reserve((end - begin) * 8);
+  for (size_t i = begin; i < end; ++i) {
+    PutU64(out, static_cast<uint64_t>(values[i]));
+  }
+  return out;
+}
+
+Bytes EncodeInt64Rle(const std::vector<int64_t>& values, size_t begin, size_t end) {
+  Bytes out;
+  size_t i = begin;
+  while (i < end) {
+    size_t run = 1;
+    while (i + run < end && values[i + run] == values[i]) {
+      ++run;
+    }
+    PutU64(out, static_cast<uint64_t>(values[i]));
+    PutU32(out, static_cast<uint32_t>(run));
+    i += run;
+  }
+  return out;
+}
+
+Bytes EncodeFloat64(const std::vector<double>& values, size_t begin, size_t end) {
+  Bytes out;
+  out.reserve((end - begin) * 8);
+  for (size_t i = begin; i < end; ++i) {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(double));
+    std::memcpy(&bits, &values[i], 8);
+    PutU64(out, bits);
+  }
+  return out;
+}
+
+Bytes EncodeStringPlain(const std::vector<std::string>& values, size_t begin, size_t end) {
+  Bytes out;
+  for (size_t i = begin; i < end; ++i) {
+    PutString(out, values[i]);
+  }
+  return out;
+}
+
+Bytes EncodeStringDict(const std::vector<std::string>& values, size_t begin, size_t end) {
+  // Dictionary: [entry_count][entries][indices u32...].
+  std::map<std::string, uint32_t> dict;
+  for (size_t i = begin; i < end; ++i) {
+    dict.emplace(values[i], 0);
+  }
+  uint32_t next = 0;
+  for (auto& [k, v] : dict) {
+    v = next++;
+  }
+  Bytes out;
+  PutU32(out, static_cast<uint32_t>(dict.size()));
+  for (const auto& [k, v] : dict) {
+    PutString(out, k);
+  }
+  for (size_t i = begin; i < end; ++i) {
+    PutU32(out, dict.at(values[i]));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Bytes> WriteParquet(const RecordBatch& batch, ParquetWriteOptions options) {
+  if (options.rows_per_group == 0) {
+    return InvalidArgument("rows_per_group must be positive");
+  }
+  if (batch.rows() == 0) {
+    return InvalidArgument("cannot write an empty table");
+  }
+  Bytes file;
+  PutU32(file, kMagic);
+
+  std::vector<RowGroupMeta> groups;
+  const Schema& schema = batch.schema();
+  for (uint64_t start = 0; start < batch.rows(); start += options.rows_per_group) {
+    const size_t begin = static_cast<size_t>(start);
+    const size_t end =
+        static_cast<size_t>(std::min<uint64_t>(batch.rows(), start + options.rows_per_group));
+    RowGroupMeta group;
+    group.rows = end - begin;
+    for (size_t c = 0; c < schema.size(); ++c) {
+      ChunkMeta chunk;
+      chunk.offset = file.size();
+      Bytes encoded;
+      switch (schema[c].type) {
+        case ColumnType::kInt64: {
+          const auto& values = batch.Int64Column(c);
+          Bytes plain = EncodeInt64Plain(values, begin, end);
+          Bytes rle = EncodeInt64Rle(values, begin, end);
+          if (rle.size() < plain.size()) {
+            encoded = std::move(rle);
+            chunk.encoding = Encoding::kRle;
+          } else {
+            encoded = std::move(plain);
+            chunk.encoding = Encoding::kPlain;
+          }
+          chunk.has_zone_map = true;
+          chunk.min = *std::min_element(values.begin() + static_cast<ptrdiff_t>(begin),
+                                        values.begin() + static_cast<ptrdiff_t>(end));
+          chunk.max = *std::max_element(values.begin() + static_cast<ptrdiff_t>(begin),
+                                        values.begin() + static_cast<ptrdiff_t>(end));
+          break;
+        }
+        case ColumnType::kFloat64:
+          encoded = EncodeFloat64(batch.Float64Column(c), begin, end);
+          chunk.encoding = Encoding::kPlain;
+          break;
+        case ColumnType::kString: {
+          const auto& values = batch.StringColumn(c);
+          Bytes plain = EncodeStringPlain(values, begin, end);
+          Bytes dict = EncodeStringDict(values, begin, end);
+          if (dict.size() < plain.size()) {
+            encoded = std::move(dict);
+            chunk.encoding = Encoding::kDictionary;
+          } else {
+            encoded = std::move(plain);
+            chunk.encoding = Encoding::kPlain;
+          }
+          break;
+        }
+      }
+      chunk.bytes = encoded.size();
+      PutBytes(file, ByteSpan(encoded.data(), encoded.size()));
+      group.chunks.push_back(chunk);
+    }
+    groups.push_back(std::move(group));
+  }
+
+  // Footer.
+  const uint64_t footer_start = file.size();
+  Bytes footer;
+  PutU32(footer, static_cast<uint32_t>(schema.size()));
+  for (const Field& field : schema) {
+    PutString(footer, field.name);
+    footer.push_back(static_cast<uint8_t>(field.type));
+  }
+  PutU32(footer, static_cast<uint32_t>(groups.size()));
+  for (const RowGroupMeta& group : groups) {
+    PutU64(footer, group.rows);
+    for (const ChunkMeta& chunk : group.chunks) {
+      PutU64(footer, chunk.offset);
+      PutU64(footer, chunk.bytes);
+      footer.push_back(static_cast<uint8_t>(chunk.encoding));
+      footer.push_back(chunk.has_zone_map ? 1 : 0);
+      PutU64(footer, static_cast<uint64_t>(chunk.min));
+      PutU64(footer, static_cast<uint64_t>(chunk.max));
+    }
+  }
+  PutU32(footer, Crc32c(ByteSpan(footer.data(), footer.size())));
+  PutBytes(file, ByteSpan(footer.data(), footer.size()));
+  PutU32(file, static_cast<uint32_t>(file.size() - footer_start));
+  PutU32(file, kMagic);
+  return file;
+}
+
+Result<Bytes> ParquetReader::Fetch(uint64_t offset, uint64_t length) {
+  if (offset + length > file_size_) {
+    return OutOfRange("fetch past end of file");
+  }
+  bytes_fetched_ += length;
+  return fetch_(offset, length);
+}
+
+Result<ParquetReader> ParquetReader::Open(uint64_t file_size, FetchFn fetch) {
+  ParquetReader reader(file_size, std::move(fetch));
+  RETURN_IF_ERROR(reader.ParseFooter());
+  return reader;
+}
+
+Result<ParquetReader> ParquetReader::OpenBuffer(Bytes file) {
+  auto shared = std::make_shared<Bytes>(std::move(file));
+  const uint64_t size = shared->size();
+  return Open(size, [shared](uint64_t offset, uint64_t length) -> Result<Bytes> {
+    if (offset + length > shared->size()) {
+      return OutOfRange("buffer fetch out of range");
+    }
+    return Bytes(shared->begin() + static_cast<ptrdiff_t>(offset),
+                 shared->begin() + static_cast<ptrdiff_t>(offset + length));
+  });
+}
+
+Status ParquetReader::ParseFooter() {
+  if (file_size_ < 12) {
+    return DataLoss("file too small for a footer");
+  }
+  ASSIGN_OR_RETURN(Bytes tail, Fetch(file_size_ - 8, 8));
+  const uint32_t footer_size = GetU32(tail, 0);
+  if (GetU32(tail, 4) != kMagic) {
+    return DataLoss("bad trailing magic (not an HPQ file)");
+  }
+  if (footer_size + 12 > file_size_) {
+    return DataLoss("footer size exceeds file");
+  }
+  ASSIGN_OR_RETURN(Bytes footer, Fetch(file_size_ - 8 - footer_size, footer_size));
+  if (footer.size() < 4) {
+    return DataLoss("footer truncated");
+  }
+  const size_t body = footer.size() - 4;
+  if (Crc32c(ByteSpan(footer.data(), body)) != GetU32(footer, body)) {
+    return DataLoss("footer checksum mismatch");
+  }
+  ByteReader reader(ByteSpan(footer.data(), body));
+  const uint32_t field_count = reader.ReadU32();
+  if (field_count > 4096) {
+    return DataLoss("implausible field count");
+  }
+  schema_.clear();
+  for (uint32_t f = 0; f < field_count; ++f) {
+    Field field;
+    field.name = reader.ReadString();
+    field.type = static_cast<ColumnType>(reader.ReadU8());
+    schema_.push_back(std::move(field));
+  }
+  const uint32_t group_count = reader.ReadU32();
+  groups_.clear();
+  for (uint32_t g = 0; g < group_count; ++g) {
+    RowGroupMeta group;
+    group.rows = reader.ReadU64();
+    for (uint32_t c = 0; c < field_count; ++c) {
+      ChunkMeta chunk;
+      chunk.offset = reader.ReadU64();
+      chunk.bytes = reader.ReadU64();
+      chunk.encoding = static_cast<Encoding>(reader.ReadU8());
+      chunk.has_zone_map = reader.ReadU8() != 0;
+      chunk.min = static_cast<int64_t>(reader.ReadU64());
+      chunk.max = static_cast<int64_t>(reader.ReadU64());
+      group.chunks.push_back(chunk);
+    }
+    groups_.push_back(std::move(group));
+  }
+  if (!reader.Ok()) {
+    return DataLoss("footer truncated");
+  }
+  return Status::Ok();
+}
+
+uint64_t ParquetReader::TotalRows() const {
+  uint64_t rows = 0;
+  for (const RowGroupMeta& group : groups_) {
+    rows += group.rows;
+  }
+  return rows;
+}
+
+Result<ColumnData> ParquetReader::DecodeChunk(const ChunkMeta& chunk, ColumnType type,
+                                              uint64_t rows) {
+  ASSIGN_OR_RETURN(Bytes raw, Fetch(chunk.offset, chunk.bytes));
+  ByteReader reader(ByteSpan(raw.data(), raw.size()));
+  switch (type) {
+    case ColumnType::kInt64: {
+      std::vector<int64_t> values;
+      values.reserve(rows);
+      if (chunk.encoding == Encoding::kPlain) {
+        for (uint64_t i = 0; i < rows; ++i) {
+          values.push_back(static_cast<int64_t>(reader.ReadU64()));
+        }
+      } else if (chunk.encoding == Encoding::kRle) {
+        while (values.size() < rows) {
+          const auto value = static_cast<int64_t>(reader.ReadU64());
+          const uint32_t run = reader.ReadU32();
+          if (!reader.Ok() || run == 0 || values.size() + run > rows) {
+            return DataLoss("corrupt RLE run");
+          }
+          values.insert(values.end(), run, value);
+        }
+      } else {
+        return DataLoss("bad encoding for int64 chunk");
+      }
+      if (!reader.Ok()) {
+        return DataLoss("truncated int64 chunk");
+      }
+      return ColumnData(std::move(values));
+    }
+    case ColumnType::kFloat64: {
+      std::vector<double> values;
+      values.reserve(rows);
+      for (uint64_t i = 0; i < rows; ++i) {
+        const uint64_t bits = reader.ReadU64();
+        double v;
+        std::memcpy(&v, &bits, 8);
+        values.push_back(v);
+      }
+      if (!reader.Ok()) {
+        return DataLoss("truncated float64 chunk");
+      }
+      return ColumnData(std::move(values));
+    }
+    case ColumnType::kString: {
+      std::vector<std::string> values;
+      values.reserve(rows);
+      if (chunk.encoding == Encoding::kPlain) {
+        for (uint64_t i = 0; i < rows; ++i) {
+          values.push_back(reader.ReadString());
+        }
+      } else if (chunk.encoding == Encoding::kDictionary) {
+        const uint32_t entries = reader.ReadU32();
+        std::vector<std::string> dict;
+        dict.reserve(entries);
+        for (uint32_t e = 0; e < entries; ++e) {
+          dict.push_back(reader.ReadString());
+        }
+        for (uint64_t i = 0; i < rows; ++i) {
+          const uint32_t idx = reader.ReadU32();
+          if (!reader.Ok() || idx >= dict.size()) {
+            return DataLoss("corrupt dictionary index");
+          }
+          values.push_back(dict[idx]);
+        }
+      } else {
+        return DataLoss("bad encoding for string chunk");
+      }
+      if (!reader.Ok()) {
+        return DataLoss("truncated string chunk");
+      }
+      return ColumnData(std::move(values));
+    }
+  }
+  return Internal("bad column type");
+}
+
+Result<RecordBatch> ParquetReader::ReadRowGroup(size_t group,
+                                                const std::vector<std::string>& columns) {
+  if (group >= groups_.size()) {
+    return OutOfRange("no such row group");
+  }
+  const RowGroupMeta& meta = groups_[group];
+  // Resolve the projection.
+  std::vector<size_t> indices;
+  if (columns.empty()) {
+    for (size_t i = 0; i < schema_.size(); ++i) {
+      indices.push_back(i);
+    }
+  } else {
+    for (const std::string& name : columns) {
+      bool found = false;
+      for (size_t i = 0; i < schema_.size(); ++i) {
+        if (schema_[i].name == name) {
+          indices.push_back(i);
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        return NotFound("no column named " + name);
+      }
+    }
+  }
+  Schema projected;
+  std::vector<ColumnData> data;
+  for (size_t i : indices) {
+    projected.push_back(schema_[i]);
+    ASSIGN_OR_RETURN(ColumnData column,
+                     DecodeChunk(meta.chunks[i], schema_[i].type, meta.rows));
+    data.push_back(std::move(column));
+  }
+  return RecordBatch::Make(std::move(projected), std::move(data));
+}
+
+Result<RecordBatch> ParquetReader::ScanInt64Filter(const std::string& filter_column, int64_t lo,
+                                                   int64_t hi,
+                                                   const std::vector<std::string>& projection) {
+  size_t filter_idx = schema_.size();
+  for (size_t i = 0; i < schema_.size(); ++i) {
+    if (schema_[i].name == filter_column) {
+      filter_idx = i;
+      break;
+    }
+  }
+  if (filter_idx == schema_.size() || schema_[filter_idx].type != ColumnType::kInt64) {
+    return InvalidArgument("filter column must be an int64 column");
+  }
+  std::vector<std::string> needed = projection;
+  if (std::find(needed.begin(), needed.end(), filter_column) == needed.end()) {
+    needed.push_back(filter_column);
+  }
+  std::vector<RecordBatch> parts;
+  for (size_t g = 0; g < groups_.size(); ++g) {
+    const ChunkMeta& chunk = groups_[g].chunks[filter_idx];
+    if (chunk.has_zone_map && (chunk.max < lo || chunk.min > hi)) {
+      ++groups_skipped_;
+      continue;
+    }
+    ASSIGN_OR_RETURN(RecordBatch batch, ReadRowGroup(g, needed));
+    ASSIGN_OR_RETURN(size_t col, batch.ColumnIndex(filter_column));
+    const auto& values = batch.Int64Column(col);
+    std::vector<uint32_t> selected;
+    for (uint32_t r = 0; r < values.size(); ++r) {
+      if (values[r] >= lo && values[r] <= hi) {
+        selected.push_back(r);
+      }
+    }
+    parts.push_back(batch.Take(selected));
+  }
+  // Concatenate the parts.
+  if (parts.empty()) {
+    // Empty result with the projected schema.
+    Schema projected;
+    std::vector<ColumnData> empty;
+    for (const std::string& name : needed) {
+      for (const Field& f : schema_) {
+        if (f.name == name) {
+          projected.push_back(f);
+          switch (f.type) {
+            case ColumnType::kInt64:
+              empty.emplace_back(std::vector<int64_t>{});
+              break;
+            case ColumnType::kFloat64:
+              empty.emplace_back(std::vector<double>{});
+              break;
+            case ColumnType::kString:
+              empty.emplace_back(std::vector<std::string>{});
+              break;
+          }
+        }
+      }
+    }
+    return RecordBatch::Make(std::move(projected), std::move(empty));
+  }
+  Schema schema = parts[0].schema();
+  std::vector<ColumnData> merged;
+  for (size_t c = 0; c < schema.size(); ++c) {
+    ColumnData column = parts[0].column(c);
+    for (size_t p = 1; p < parts.size(); ++p) {
+      std::visit(
+          [&](auto& dst) {
+            const auto& src = std::get<std::decay_t<decltype(dst)>>(parts[p].column(c));
+            dst.insert(dst.end(), src.begin(), src.end());
+          },
+          column);
+    }
+    merged.push_back(std::move(column));
+  }
+  return RecordBatch::Make(std::move(schema), std::move(merged));
+}
+
+}  // namespace hyperion::format

@@ -1,0 +1,104 @@
+// Columnar on-storage format (Parquet-flavoured), paper §2.3.
+//
+// Layout of a file:
+//
+//   [magic "HPQ1"]
+//   row group 0: column chunk 0, column chunk 1, ...
+//   row group 1: ...
+//   footer: schema, per-group/per-column chunk metadata
+//           (offset, byte size, encoding, zone-map min/max for int64)
+//   [footer_size u32][magic "HPQ1"]
+//
+// Encodings: int64 chunks pick PLAIN or RLE (whichever is smaller), strings
+// pick PLAIN or DICTIONARY, float64 is PLAIN. Zone maps enable row-group
+// skipping (predicate pushdown); chunk-granular offsets enable projection
+// pushdown (fetch only the columns you scan). The reader pulls bytes
+// through a caller-supplied fetch function, so the same code prices an
+// in-memory buffer, a host file-system read, or the annotated CPU-free
+// device path of experiment E8.
+
+#ifndef HYPERION_SRC_FORMAT_PARQUET_H_
+#define HYPERION_SRC_FORMAT_PARQUET_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/result.h"
+#include "src/format/arrow.h"
+
+namespace hyperion::format {
+
+enum class Encoding : uint8_t { kPlain = 0, kRle = 1, kDictionary = 2 };
+
+struct ChunkMeta {
+  uint64_t offset = 0;  // from file start
+  uint64_t bytes = 0;
+  Encoding encoding = Encoding::kPlain;
+  // Zone map, valid for int64 columns.
+  bool has_zone_map = false;
+  int64_t min = 0;
+  int64_t max = 0;
+};
+
+struct RowGroupMeta {
+  uint64_t rows = 0;
+  std::vector<ChunkMeta> chunks;  // one per schema field
+};
+
+struct ParquetWriteOptions {
+  uint64_t rows_per_group = 4096;
+};
+
+// Serializes a batch into the file format.
+Result<Bytes> WriteParquet(const RecordBatch& batch,
+                           ParquetWriteOptions options = ParquetWriteOptions());
+
+class ParquetReader {
+ public:
+  // Byte provider: reads [offset, offset+length) of the file.
+  using FetchFn = std::function<Result<Bytes>(uint64_t offset, uint64_t length)>;
+
+  static Result<ParquetReader> Open(uint64_t file_size, FetchFn fetch);
+  // Convenience: reader over an in-memory buffer.
+  static Result<ParquetReader> OpenBuffer(Bytes file);
+
+  const Schema& schema() const { return schema_; }
+  size_t RowGroupCount() const { return groups_.size(); }
+  uint64_t TotalRows() const;
+
+  // Materializes one row group, fetching only the chunks of `columns`
+  // (empty = all columns).
+  Result<RecordBatch> ReadRowGroup(size_t group, const std::vector<std::string>& columns = {});
+
+  // Zone-map-driven scan: returns rows of `projection` where
+  // filter_column in [lo, hi]; row groups whose zone map excludes the range
+  // are never fetched.
+  Result<RecordBatch> ScanInt64Filter(const std::string& filter_column, int64_t lo, int64_t hi,
+                                      const std::vector<std::string>& projection);
+
+  uint64_t groups_skipped() const { return groups_skipped_; }
+  uint64_t bytes_fetched() const { return bytes_fetched_; }
+
+ private:
+  ParquetReader(uint64_t file_size, FetchFn fetch)
+      : file_size_(file_size), fetch_(std::move(fetch)) {}
+
+  Result<Bytes> Fetch(uint64_t offset, uint64_t length);
+  Status ParseFooter();
+  Result<ColumnData> DecodeChunk(const ChunkMeta& chunk, ColumnType type, uint64_t rows);
+
+  uint64_t file_size_;
+  FetchFn fetch_;
+  Schema schema_;
+  std::vector<RowGroupMeta> groups_;
+  uint64_t groups_skipped_ = 0;
+  uint64_t bytes_fetched_ = 0;
+};
+
+}  // namespace hyperion::format
+
+#endif  // HYPERION_SRC_FORMAT_PARQUET_H_

@@ -1,0 +1,40 @@
+// Vectorized scan kernels over RecordBatches — the compute Hyperion's
+// eHDL accelerator slots run against Parquet/Arrow data (paper §2.3's
+// "end-to-end Parquet/Arrow object access pipeline").
+
+#ifndef HYPERION_SRC_FORMAT_SCAN_H_
+#define HYPERION_SRC_FORMAT_SCAN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/result.h"
+#include "src/format/arrow.h"
+
+namespace hyperion::format {
+
+struct Int64Aggregates {
+  uint64_t count = 0;
+  int64_t sum = 0;
+  int64_t min = 0;
+  int64_t max = 0;
+};
+
+// count/sum/min/max of an int64 column.
+Result<Int64Aggregates> AggregateInt64(const RecordBatch& batch, const std::string& column);
+
+// Sum of a float64 column.
+Result<double> SumFloat64(const RecordBatch& batch, const std::string& column);
+
+// Rows where `column` (int64) lies in [lo, hi].
+Result<RecordBatch> FilterInt64(const RecordBatch& batch, const std::string& column, int64_t lo,
+                                int64_t hi);
+
+// SELECT group_col, SUM(value_col): grouped sum over a string column.
+Result<std::vector<std::pair<std::string, int64_t>>> GroupedSum(const RecordBatch& batch,
+                                                                const std::string& group_col,
+                                                                const std::string& value_col);
+
+}  // namespace hyperion::format
+
+#endif  // HYPERION_SRC_FORMAT_SCAN_H_

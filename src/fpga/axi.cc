@@ -1,0 +1,93 @@
+#include "src/fpga/axi.h"
+
+#include <algorithm>
+
+namespace hyperion::fpga {
+
+std::string_view PortName(Port port) {
+  switch (port) {
+    case Port::kDram:
+      return "dram";
+    case Port::kHbm:
+      return "hbm";
+    case Port::kNvme0:
+      return "nvme0";
+    case Port::kNvme1:
+      return "nvme1";
+    case Port::kNvme2:
+      return "nvme2";
+    case Port::kNvme3:
+      return "nvme3";
+    case Port::kNet0:
+      return "net0";
+    case Port::kNet1:
+      return "net1";
+  }
+  return "?";
+}
+
+Status AxiInterconnect::AddRoute(uint64_t base, uint64_t limit, Port port) {
+  if (base >= limit) {
+    return InvalidArgument("empty route range");
+  }
+  for (const Range& r : routes_) {
+    if (base < r.limit && r.base < limit) {
+      return AlreadyExists("route overlaps an existing range");
+    }
+  }
+  routes_.push_back(Range{base, limit, port});
+  std::sort(routes_.begin(), routes_.end(),
+            [](const Range& a, const Range& b) { return a.base < b.base; });
+  return Status::Ok();
+}
+
+Result<Port> AxiInterconnect::Route(uint64_t addr) const {
+  // Binary search over sorted, non-overlapping ranges.
+  auto it = std::upper_bound(routes_.begin(), routes_.end(), addr,
+                             [](uint64_t a, const Range& r) { return a < r.base; });
+  if (it == routes_.begin()) {
+    return NotFound("address not mapped by the interconnect");
+  }
+  --it;
+  if (addr >= it->limit) {
+    return NotFound("address not mapped by the interconnect");
+  }
+  return it->port;
+}
+
+Status AxiInterconnect::GrantWindow(RegionId region, uint64_t base, uint64_t limit) {
+  if (base >= limit) {
+    return InvalidArgument("empty window");
+  }
+  windows_.push_back(Window{region, base, limit});
+  return Status::Ok();
+}
+
+void AxiInterconnect::RevokeAll(RegionId region) {
+  windows_.erase(std::remove_if(windows_.begin(), windows_.end(),
+                                [region](const Window& w) { return w.region == region; }),
+                 windows_.end());
+}
+
+Result<Port> AxiInterconnect::CheckedAccess(RegionId region, uint64_t addr, uint64_t len) {
+  if (len == 0) {
+    return InvalidArgument("zero-length access");
+  }
+  const uint64_t end = addr + len;
+  bool allowed = false;
+  for (const Window& w : windows_) {
+    if (w.region == region && addr >= w.base && end <= w.limit) {
+      allowed = true;
+      break;
+    }
+  }
+  if (!allowed) {
+    counters_.Increment("isolation_violations");
+    return PermissionDenied("access outside granted windows");
+  }
+  counters_.Increment("transactions");
+  counters_.Add("bytes", len);
+  return Route(addr);
+}
+
+}  // namespace hyperion::fpga

@@ -1,0 +1,63 @@
+#include "src/fpga/scheduler.h"
+
+#include "src/common/check.h"
+
+namespace hyperion::fpga {
+
+SlotScheduler::SlotScheduler(sim::Engine* engine, Fabric* fabric)
+    : engine_(engine), fabric_(fabric), state_(fabric->RegionCount()) {}
+
+Result<SlotScheduler::Placement> SlotScheduler::Acquire(const Bitstream& bitstream) {
+  // 1. Already resident?
+  for (RegionId r = 0; r < state_.size(); ++r) {
+    auto loaded = fabric_->LoadedBitstream(r);
+    if (loaded.ok() && loaded->name == bitstream.name && loaded->tenant == bitstream.tenant) {
+      ++hits_;
+      ++state_[r].pins;
+      state_[r].last_used = engine_->Now();
+      return Placement{r, false, 0};
+    }
+  }
+  ++misses_;
+  // 2. A free (never-configured) region?
+  for (RegionId r = 0; r < state_.size(); ++r) {
+    if (!fabric_->IsLoaded(r) && state_[r].pins == 0) {
+      ASSIGN_OR_RETURN(sim::Duration latency, fabric_->Reconfigure(r, bitstream));
+      ++state_[r].pins;
+      state_[r].last_used = engine_->Now();
+      return Placement{r, true, latency};
+    }
+  }
+  // 3. Evict the LRU unpinned region.
+  RegionId victim = kNoTenant;
+  for (RegionId r = 0; r < state_.size(); ++r) {
+    if (state_[r].pins != 0) {
+      continue;
+    }
+    if (victim == kNoTenant || state_[r].last_used < state_[victim].last_used) {
+      victim = r;
+    }
+  }
+  if (victim == kNoTenant) {
+    return ResourceExhausted("all regions pinned");
+  }
+  ++evictions_;
+  ASSIGN_OR_RETURN(sim::Duration latency, fabric_->Reconfigure(victim, bitstream));
+  ++state_[victim].pins;
+  state_[victim].last_used = engine_->Now();
+  return Placement{victim, true, latency};
+}
+
+Status SlotScheduler::Release(RegionId region) {
+  if (region >= state_.size()) {
+    return InvalidArgument("no such region");
+  }
+  if (state_[region].pins == 0) {
+    return InvalidArgument("region not pinned");
+  }
+  --state_[region].pins;
+  state_[region].last_used = engine_->Now();
+  return Status::Ok();
+}
+
+}  // namespace hyperion::fpga

@@ -1,0 +1,60 @@
+// Spatial slot scheduler: coarse-grained multiplexing of fabric regions.
+//
+// This is the "slot-style spatial slicing of FPGA resources" of §2.2
+// (AmorphOS/Coyote-style): tenants ask for their accelerator to be resident;
+// the scheduler reuses a region already holding the same bitstream, takes a
+// free region, or evicts the least-recently-used idle region and pays a
+// partial reconfiguration. Regions pinned by in-flight work are never
+// evicted — spatial sharing means a resident tenant's performance is
+// untouched by neighbours (contrast with the time-shared CPU baseline of
+// experiment E7).
+
+#ifndef HYPERION_SRC_FPGA_SCHEDULER_H_
+#define HYPERION_SRC_FPGA_SCHEDULER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/fpga/fabric.h"
+
+namespace hyperion::fpga {
+
+class SlotScheduler {
+ public:
+  SlotScheduler(sim::Engine* engine, Fabric* fabric);
+
+  struct Placement {
+    RegionId region = 0;
+    bool reconfigured = false;
+    sim::Duration reconfig_latency = 0;
+  };
+
+  // Makes `bitstream` resident somewhere and pins the region.
+  // kResourceExhausted when every region is pinned by other work.
+  Result<Placement> Acquire(const Bitstream& bitstream);
+
+  // Unpins a region previously returned by Acquire.
+  Status Release(RegionId region);
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t evictions() const { return evictions_; }
+
+ private:
+  struct RegionState {
+    uint32_t pins = 0;
+    sim::SimTime last_used = 0;
+  };
+
+  sim::Engine* engine_;
+  Fabric* fabric_;
+  std::vector<RegionState> state_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace hyperion::fpga
+
+#endif  // HYPERION_SRC_FPGA_SCHEDULER_H_

@@ -1,0 +1,47 @@
+// Backing-store allocators for the single-level store.
+//
+// RangeAllocator hands out contiguous [offset, offset+size) ranges from a
+// flat space with first-fit + coalescing-free — used both for DRAM/HBM
+// arenas (byte granularity) and NVMe extents (LBA granularity).
+
+#ifndef HYPERION_SRC_MEM_ALLOCATOR_H_
+#define HYPERION_SRC_MEM_ALLOCATOR_H_
+
+#include <cstdint>
+#include <map>
+
+#include "src/common/result.h"
+
+namespace hyperion::mem {
+
+class RangeAllocator {
+ public:
+  explicit RangeAllocator(uint64_t capacity);
+
+  // First-fit allocation; returns the start offset.
+  Result<uint64_t> Allocate(uint64_t size);
+
+  // Claims a specific range (used when rebuilding allocator state from a
+  // recovered segment table). Fails if any part is already allocated.
+  Status Reserve(uint64_t offset, uint64_t size);
+
+  // Frees a previously allocated range. Double frees / bad ranges are
+  // programmer errors and return kInvalidArgument.
+  Status Free(uint64_t offset, uint64_t size);
+
+  uint64_t capacity() const { return capacity_; }
+  uint64_t used() const { return used_; }
+  uint64_t FreeBytes() const { return capacity_ - used_; }
+  // Largest single allocatable range (fragmentation metric).
+  uint64_t LargestFreeRange() const;
+
+ private:
+  uint64_t capacity_;
+  uint64_t used_ = 0;
+  // offset -> size of free ranges; invariant: no two adjacent (coalesced).
+  std::map<uint64_t, uint64_t> free_;
+};
+
+}  // namespace hyperion::mem
+
+#endif  // HYPERION_SRC_MEM_ALLOCATOR_H_

@@ -1,0 +1,26 @@
+#include "src/mem/dram.h"
+
+#include <algorithm>
+
+namespace hyperion::mem {
+
+Status DramDevice::Read(uint64_t addr, MutableByteSpan out) {
+  if (addr + out.size() > data_.size()) {
+    return OutOfRange("DRAM read past end");
+  }
+  std::copy(data_.begin() + static_cast<ptrdiff_t>(addr),
+            data_.begin() + static_cast<ptrdiff_t>(addr + out.size()), out.begin());
+  engine_->Advance(AccessTime(out.size()));
+  return Status::Ok();
+}
+
+Status DramDevice::Write(uint64_t addr, ByteSpan data) {
+  if (addr + data.size() > data_.size()) {
+    return OutOfRange("DRAM write past end");
+  }
+  std::copy(data.begin(), data.end(), data_.begin() + static_cast<ptrdiff_t>(addr));
+  engine_->Advance(AccessTime(data.size()));
+  return Status::Ok();
+}
+
+}  // namespace hyperion::mem

@@ -1,0 +1,53 @@
+// On-board DRAM/HBM model for the DPU (the U280 carries 32 GiB DDR4 and
+// 8 GiB HBM2) and for the baseline host's DIMMs.
+//
+// A flat byte arena with a simple latency model: fixed access latency plus
+// serialization at the device bandwidth. HBM trades slightly higher latency
+// for much higher bandwidth, which is why the placement hints of §2.1
+// matter.
+
+#ifndef HYPERION_SRC_MEM_DRAM_H_
+#define HYPERION_SRC_MEM_DRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/result.h"
+#include "src/sim/engine.h"
+
+namespace hyperion::mem {
+
+struct DramParams {
+  sim::Duration access_latency = 90;  // row activate + CAS, ns
+  double bandwidth_gbps = 153.6;      // 19.2 GB/s DDR4-2400 channel
+};
+
+inline DramParams HbmParams() {
+  return DramParams{.access_latency = 120, .bandwidth_gbps = 3680.0};  // 460 GB/s
+}
+
+class DramDevice {
+ public:
+  DramDevice(sim::Engine* engine, uint64_t capacity_bytes, DramParams params = DramParams())
+      : engine_(engine), params_(params), data_(capacity_bytes, 0) {}
+
+  uint64_t capacity() const { return data_.size(); }
+
+  Status Read(uint64_t addr, MutableByteSpan out);
+  Status Write(uint64_t addr, ByteSpan data);
+
+  // Latency model only (no data movement), for planners.
+  sim::Duration AccessTime(uint64_t bytes) const {
+    return params_.access_latency + sim::TransferTime(bytes, params_.bandwidth_gbps);
+  }
+
+ private:
+  sim::Engine* engine_;
+  DramParams params_;
+  std::vector<uint8_t> data_;
+};
+
+}  // namespace hyperion::mem
+
+#endif  // HYPERION_SRC_MEM_DRAM_H_

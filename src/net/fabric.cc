@@ -1,0 +1,48 @@
+#include "src/net/fabric.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace hyperion::net {
+
+HostId Fabric::AddHost(std::string name, double link_gbps) {
+  CHECK_GT(link_gbps, 0.0);
+  hosts_.push_back(Host{std::move(name), link_gbps});
+  return static_cast<HostId>(hosts_.size() - 1);
+}
+
+const std::string& Fabric::HostName(HostId id) const {
+  CHECK_LT(id, hosts_.size());
+  return hosts_[id].name;
+}
+
+Result<sim::Duration> Fabric::OneWayLatency(HostId src, HostId dst, uint64_t bytes) const {
+  if (src >= hosts_.size() || dst >= hosts_.size()) {
+    return InvalidArgument("unknown host");
+  }
+  if (src == dst) {
+    return sim::Duration{0};  // loopback is free in the model
+  }
+  const double gbps = std::min(hosts_[src].link_gbps, hosts_[dst].link_gbps);
+  const sim::Duration serialization = sim::TransferTime(bytes, gbps);
+  return 2 * params_.port_latency + params_.switch_latency + 2 * params_.propagation +
+         serialization;
+}
+
+Result<sim::Duration> Fabric::Rtt(HostId a, HostId b) const {
+  // Minimal 64-byte frames in both directions.
+  ASSIGN_OR_RETURN(sim::Duration fwd, OneWayLatency(a, b, 64));
+  ASSIGN_OR_RETURN(sim::Duration rev, OneWayLatency(b, a, 64));
+  return fwd + rev;
+}
+
+Result<sim::Duration> Fabric::Deliver(HostId src, HostId dst, uint64_t bytes) {
+  ASSIGN_OR_RETURN(sim::Duration latency, OneWayLatency(src, dst, bytes));
+  engine_->Advance(latency);
+  counters_.Add("net_messages", 1);
+  counters_.Add("net_bytes", bytes);
+  return latency;
+}
+
+}  // namespace hyperion::net

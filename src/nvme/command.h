@@ -1,0 +1,54 @@
+// NVMe command set subset used by Hyperion.
+//
+// We model the semantics of the spec structures (64-byte SQE, 16-byte CQE)
+// rather than their exact bit layout: opcode, namespace, LBA range, a data
+// buffer in place of PRP lists, and the command identifier / status fields
+// needed for queue-pair completion matching.
+
+#ifndef HYPERION_SRC_NVME_COMMAND_H_
+#define HYPERION_SRC_NVME_COMMAND_H_
+
+#include <cstdint>
+
+#include "src/common/bytes.h"
+
+namespace hyperion::nvme {
+
+enum class Opcode : uint8_t {
+  kFlush = 0x00,
+  kWrite = 0x01,
+  kRead = 0x02,
+  kIdentify = 0x06,
+};
+
+enum class CmdStatus : uint8_t {
+  kSuccess = 0x0,
+  kInvalidOpcode = 0x1,
+  kInvalidField = 0x2,
+  kLbaOutOfRange = 0x80,
+  kInternalError = 0x6,
+};
+
+struct Command {
+  uint16_t cid = 0;       // command identifier, echoed in the completion
+  Opcode opcode = Opcode::kFlush;
+  uint32_t nsid = 1;      // namespace id (1-based, per the spec)
+  uint64_t slba = 0;      // starting LBA
+  uint32_t nlb = 0;       // number of logical blocks, 0-based per spec (0 => 1 block)
+
+  // Stand-in for PRP/SGL: the payload to write, or where reads land.
+  Bytes data;
+
+  uint32_t BlockCount() const { return nlb + 1; }
+};
+
+struct Completion {
+  uint16_t cid = 0;
+  CmdStatus status = CmdStatus::kSuccess;
+  uint16_t sq_id = 0;
+  Bytes data;  // read payload
+};
+
+}  // namespace hyperion::nvme
+
+#endif  // HYPERION_SRC_NVME_COMMAND_H_

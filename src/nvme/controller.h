@@ -1,0 +1,77 @@
+// NVMe controller: namespaces, queue pairs, command execution.
+//
+// On Hyperion the controller sits behind the FPGA-hosted PCIe root complex
+// (the "NVMe Host IP Core" of Figure 2); on the baseline it hangs off the
+// host root complex and is driven by the kernel. Both use this same model —
+// what differs between the architectures is who issues the doorbells and
+// how many bus/software hops the data crosses on the way here.
+
+#ifndef HYPERION_SRC_NVME_CONTROLLER_H_
+#define HYPERION_SRC_NVME_CONTROLLER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/nvme/command.h"
+#include "src/nvme/flash.h"
+#include "src/nvme/queue.h"
+#include "src/sim/engine.h"
+#include "src/sim/stats.h"
+
+namespace hyperion::nvme {
+
+class Controller {
+ public:
+  explicit Controller(sim::Engine* engine) : engine_(engine) {}
+
+  // Attaches a namespace; returns its 1-based nsid.
+  uint32_t AddNamespace(uint64_t capacity_lbas, FlashLatency latency = FlashLatency());
+
+  uint32_t NamespaceCount() const { return static_cast<uint32_t>(namespaces_.size()); }
+  Result<uint64_t> NamespaceCapacity(uint32_t nsid) const;
+
+  // -- Queue-pair interface (asynchronous, spec-shaped) ---------------------
+
+  // Creates an I/O queue pair; returns its qid (1-based; qid 0 is admin,
+  // which this model does not expose).
+  uint16_t CreateQueuePair(uint16_t entries);
+
+  // Producer: post a command to queue `qid` (rings the SQ doorbell).
+  Status Submit(uint16_t qid, Command cmd);
+
+  // Controller side: drain all submission queues, executing each command
+  // against the media model and posting completions. Returns the number of
+  // commands executed. Virtual time advances to the completion time of the
+  // latest command.
+  uint32_t ProcessSubmissions();
+
+  // Consumer: reap one completion from queue `qid`.
+  std::optional<Completion> Reap(uint16_t qid);
+
+  // -- Synchronous convenience facade ---------------------------------------
+  // Issues through an internal queue pair and advances virtual time by the
+  // full command latency. Used by the storage/fs layers, which care about
+  // the cost model, not doorbell mechanics.
+
+  Result<Bytes> Read(uint32_t nsid, uint64_t slba, uint32_t block_count);
+  Status Write(uint32_t nsid, uint64_t slba, ByteSpan data);  // data = N * kLbaSize
+  Status Flush(uint32_t nsid);
+
+  const sim::Counters& counters() const { return counters_; }
+
+ private:
+  Completion Execute(const Command& cmd);
+  FlashDevice* GetNamespace(uint32_t nsid);
+
+  sim::Engine* engine_;
+  std::vector<std::unique_ptr<FlashDevice>> namespaces_;
+  std::vector<std::unique_ptr<QueuePair>> queues_;
+  uint16_t next_cid_ = 1;
+  sim::Counters counters_;
+};
+
+}  // namespace hyperion::nvme
+
+#endif  // HYPERION_SRC_NVME_CONTROLLER_H_

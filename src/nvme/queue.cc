@@ -1,0 +1,64 @@
+#include "src/nvme/queue.h"
+
+#include "src/common/check.h"
+
+namespace hyperion::nvme {
+
+SubmissionQueue::SubmissionQueue(uint16_t id, uint16_t entries)
+    : id_(id), entries_(entries), ring_(entries) {
+  CHECK_GE(entries, 2) << "NVMe queues need at least 2 entries";
+}
+
+bool SubmissionQueue::Full() const {
+  return static_cast<uint16_t>((tail_ + 1) % entries_) == head_;
+}
+
+uint16_t SubmissionQueue::Depth() const {
+  return static_cast<uint16_t>((tail_ + entries_ - head_) % entries_);
+}
+
+Status SubmissionQueue::Push(Command cmd) {
+  if (Full()) {
+    return ResourceExhausted("submission queue full");
+  }
+  ring_[tail_] = std::move(cmd);
+  tail_ = static_cast<uint16_t>((tail_ + 1) % entries_);
+  return Status::Ok();
+}
+
+std::optional<Command> SubmissionQueue::Pop() {
+  if (Empty()) {
+    return std::nullopt;
+  }
+  Command cmd = std::move(ring_[head_]);
+  head_ = static_cast<uint16_t>((head_ + 1) % entries_);
+  return cmd;
+}
+
+CompletionQueue::CompletionQueue(uint16_t entries) : entries_(entries), ring_(entries) {
+  CHECK_GE(entries, 2);
+}
+
+bool CompletionQueue::Full() const {
+  return static_cast<uint16_t>((tail_ + 1) % entries_) == head_;
+}
+
+Status CompletionQueue::Post(Completion cqe) {
+  if (Full()) {
+    return ResourceExhausted("completion queue full");
+  }
+  ring_[tail_] = std::move(cqe);
+  tail_ = static_cast<uint16_t>((tail_ + 1) % entries_);
+  return Status::Ok();
+}
+
+std::optional<Completion> CompletionQueue::Reap() {
+  if (Empty()) {
+    return std::nullopt;
+  }
+  Completion cqe = std::move(ring_[head_]);
+  head_ = static_cast<uint16_t>((head_ + 1) % entries_);
+  return cqe;
+}
+
+}  // namespace hyperion::nvme

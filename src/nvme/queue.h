@@ -1,0 +1,70 @@
+// NVMe submission/completion queue pair with doorbell semantics.
+//
+// The rings follow the spec's invariants: fixed-size circular buffers,
+// producer advances tail, consumer advances head, full when
+// (tail+1) % size == head. The host (or Hyperion's FPGA NVMe host IP) posts
+// commands and rings the SQ tail doorbell; the controller consumes them and
+// posts completions, which the host reaps by advancing the CQ head.
+
+#ifndef HYPERION_SRC_NVME_QUEUE_H_
+#define HYPERION_SRC_NVME_QUEUE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/nvme/command.h"
+
+namespace hyperion::nvme {
+
+class SubmissionQueue {
+ public:
+  SubmissionQueue(uint16_t id, uint16_t entries);
+
+  uint16_t id() const { return id_; }
+  bool Full() const;
+  bool Empty() const { return head_ == tail_; }
+  uint16_t Depth() const;
+
+  // Producer side: enqueue + ring the doorbell.
+  Status Push(Command cmd);
+
+  // Consumer (controller) side.
+  std::optional<Command> Pop();
+
+ private:
+  uint16_t id_;
+  uint16_t entries_;
+  uint16_t head_ = 0;
+  uint16_t tail_ = 0;
+  std::vector<Command> ring_;
+};
+
+class CompletionQueue {
+ public:
+  explicit CompletionQueue(uint16_t entries);
+
+  bool Full() const;
+  bool Empty() const { return head_ == tail_; }
+
+  Status Post(Completion cqe);
+  std::optional<Completion> Reap();
+
+ private:
+  uint16_t entries_;
+  uint16_t head_ = 0;
+  uint16_t tail_ = 0;
+  std::vector<Completion> ring_;
+};
+
+// A paired SQ/CQ, the unit of I/O parallelism in NVMe.
+struct QueuePair {
+  QueuePair(uint16_t id, uint16_t entries) : sq(id, entries), cq(entries) {}
+  SubmissionQueue sq;
+  CompletionQueue cq;
+};
+
+}  // namespace hyperion::nvme
+
+#endif  // HYPERION_SRC_NVME_QUEUE_H_

@@ -1,0 +1,24 @@
+#include "src/pcie/dma.h"
+
+namespace hyperion::pcie {
+
+Result<sim::Duration> DmaEngine::Transfer(NodeId src, NodeId dst, uint64_t bytes) {
+  return DoTransfer(src, dst, bytes, "dma");
+}
+
+Result<sim::Duration> DmaEngine::TransferPeerToPeer(NodeId src, NodeId dst, uint64_t bytes) {
+  return DoTransfer(src, dst, bytes, "p2p_dma");
+}
+
+Result<sim::Duration> DmaEngine::DoTransfer(NodeId src, NodeId dst, uint64_t bytes,
+                                            const char* kind) {
+  ASSIGN_OR_RETURN(sim::Duration latency, topology_->TransferLatency(src, dst, bytes));
+  ASSIGN_OR_RETURN(uint32_t hops, topology_->PathHops(src, dst));
+  engine_->Advance(latency);
+  counters_.Add(std::string(kind) + "_transfers", 1);
+  counters_.Add(std::string(kind) + "_bytes", bytes);
+  counters_.Add("pcie_hops", hops);
+  return latency;
+}
+
+}  // namespace hyperion::pcie

@@ -1,0 +1,75 @@
+// Energy accounting for experiment E3 (the paper's "4-8x more energy
+// efficient, approx. 230 W vs 1,600 W" claim).
+//
+// The model is the standard static+dynamic split: each component draws an
+// idle (static) power continuously over virtual time, plus a per-operation
+// dynamic energy charge. Component parameters default to the TDP envelopes
+// the paper quotes: an Alveo U280-class DPU (~230 W max) vs a SuperMicro
+// X12-class 1U server (~1,600 W max).
+
+#ifndef HYPERION_SRC_SIM_ENERGY_H_
+#define HYPERION_SRC_SIM_ENERGY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace hyperion::sim {
+
+struct ComponentPower {
+  std::string name;
+  double idle_watts = 0.0;    // drawn whenever the system is powered
+  double active_watts = 0.0;  // additional draw while the component is busy
+};
+
+class EnergyModel {
+ public:
+  // Registers a component; returns its id for Busy() charges.
+  size_t AddComponent(ComponentPower power);
+
+  // Marks component `id` busy for `busy` of virtual time (adds
+  // active_watts * busy on top of the always-on idle draw).
+  void Busy(size_t id, Duration busy);
+
+  // Total energy in joules if the system ran for `elapsed` of virtual time:
+  // sum(idle_watts)*elapsed + sum(active_watts * busy_time per component).
+  double TotalJoules(Duration elapsed) const;
+
+  // Sum of idle watts across components (the "wall draw" floor).
+  double IdleWatts() const;
+  // Sum of idle+active watts (the TDP envelope).
+  double PeakWatts() const;
+
+  const std::vector<ComponentPower>& components() const { return components_; }
+
+ private:
+  std::vector<ComponentPower> components_;
+  std::vector<Duration> busy_time_;
+};
+
+// The Hyperion DPU power budget (paper §2: approx. 230 W max TDP).
+EnergyModel MakeDpuEnergyModel();
+
+// A conventional 1U server power budget (paper §2: approx. 1,600 W max TDP).
+EnergyModel MakeServerEnergyModel();
+
+// Component ids inside the models above, for Busy() accounting.
+struct DpuPowerIds {
+  static constexpr size_t kFabric = 0;
+  static constexpr size_t kHbm = 1;
+  static constexpr size_t kNetwork = 2;
+  static constexpr size_t kNvme = 3;
+};
+struct ServerPowerIds {
+  static constexpr size_t kCpu = 0;
+  static constexpr size_t kDram = 1;
+  static constexpr size_t kNic = 2;
+  static constexpr size_t kNvme = 3;
+  static constexpr size_t kChassis = 4;  // fans, PSU loss, BMC
+};
+
+}  // namespace hyperion::sim
+
+#endif  // HYPERION_SRC_SIM_ENERGY_H_

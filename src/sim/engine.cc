@@ -1,0 +1,48 @@
+#include "src/sim/engine.h"
+
+#include "src/common/check.h"
+
+namespace hyperion::sim {
+
+void Engine::ScheduleAt(SimTime when, Callback fn) {
+  CHECK_GE(when, now_) << "cannot schedule into the past";
+  queue_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+uint64_t Engine::Run() {
+  uint64_t executed = 0;
+  while (!queue_.empty()) {
+    // Moving out of a priority_queue top requires the const_cast dance; the
+    // element is popped immediately after, so this is safe.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.when;
+    ev.fn();
+    ++executed;
+  }
+  return executed;
+}
+
+uint64_t Engine::RunUntil(SimTime deadline) {
+  uint64_t executed = 0;
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.when;
+    ev.fn();
+    ++executed;
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+  return executed;
+}
+
+void Engine::AdvanceTo(SimTime t) {
+  CHECK_GE(t, now_) << "virtual time cannot go backwards";
+  CHECK(queue_.empty() || queue_.top().when >= t)
+      << "AdvanceTo would skip over a pending event; use RunUntil";
+  now_ = t;
+}
+
+}  // namespace hyperion::sim

@@ -1,0 +1,73 @@
+// Deterministic discrete-event simulation engine.
+//
+// Components schedule closures at absolute or relative virtual times; the
+// engine executes them in (time, insertion-order) order. Ties are broken by
+// a monotonically increasing sequence number, which makes runs bit-stable
+// regardless of container iteration quirks.
+
+#ifndef HYPERION_SRC_SIM_ENGINE_H_
+#define HYPERION_SRC_SIM_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace hyperion::sim {
+
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  SimTime Now() const { return now_; }
+
+  // Runs `fn` at Now() + delay.
+  void ScheduleAfter(Duration delay, Callback fn) { ScheduleAt(now_ + delay, std::move(fn)); }
+
+  // Runs `fn` at absolute virtual time `when` (>= Now()).
+  void ScheduleAt(SimTime when, Callback fn);
+
+  // Drains the event queue completely. Returns the number of events run.
+  uint64_t Run();
+
+  // Runs events with time <= deadline, then sets Now() to deadline (even if
+  // the queue drained earlier). Returns the number of events run.
+  uint64_t RunUntil(SimTime deadline);
+
+  // Advances the clock without executing anything (used by sequential cost
+  // models that account latency inline rather than via events).
+  void AdvanceTo(SimTime t);
+  void Advance(Duration d) { AdvanceTo(now_ + d); }
+
+  bool Empty() const { return queue_.empty(); }
+  size_t PendingEvents() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime when;
+    uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace hyperion::sim
+
+#endif  // HYPERION_SRC_SIM_ENGINE_H_

@@ -1,0 +1,41 @@
+// Virtual time for the Hyperion simulation.
+//
+// All device and software cost models account time in integer nanoseconds of
+// *simulated* time, fully decoupled from the wall clock, so every run is
+// deterministic and platform-independent.
+
+#ifndef HYPERION_SRC_SIM_TIME_H_
+#define HYPERION_SRC_SIM_TIME_H_
+
+#include <cstdint>
+
+namespace hyperion::sim {
+
+// Nanoseconds of virtual time since simulation start.
+using SimTime = uint64_t;
+// A span of virtual time, also in nanoseconds.
+using Duration = uint64_t;
+
+constexpr Duration kNanosecond = 1;
+constexpr Duration kMicrosecond = 1000;
+constexpr Duration kMillisecond = 1000 * 1000;
+constexpr Duration kSecond = 1000ull * 1000 * 1000;
+
+constexpr double ToSeconds(Duration d) { return static_cast<double>(d) / 1e9; }
+constexpr double ToMicros(Duration d) { return static_cast<double>(d) / 1e3; }
+constexpr double ToMillis(Duration d) { return static_cast<double>(d) / 1e6; }
+
+// Time to move `bytes` across a link/bus of `gbps` gigabits per second.
+constexpr Duration TransferTime(uint64_t bytes, double gbps) {
+  // ns = bytes * 8 / (gbps * 1e9) * 1e9 = bytes * 8 / gbps.
+  return static_cast<Duration>(static_cast<double>(bytes) * 8.0 / gbps);
+}
+
+// Cycles at `mhz` expressed as a Duration.
+constexpr Duration CyclesToTime(uint64_t cycles, double mhz) {
+  return static_cast<Duration>(static_cast<double>(cycles) * 1000.0 / mhz);
+}
+
+}  // namespace hyperion::sim
+
+#endif  // HYPERION_SRC_SIM_TIME_H_

@@ -1,0 +1,110 @@
+#include "src/storage/corfu.h"
+
+#include "src/common/check.h"
+
+namespace hyperion::storage {
+
+namespace {
+constexpr uint8_t kEntryData = 1;
+constexpr uint8_t kEntryHole = 2;
+}  // namespace
+
+mem::SegmentId CorfuLog::EntrySegment(uint64_t position) const {
+  return mem::SegmentId(0xC0F0000000000000ull | log_id_, position);
+}
+
+Status CorfuLog::WriteAt(uint64_t position, ByteSpan data) {
+  if (position >= tail_) {
+    return OutOfRange("position not yet reserved");
+  }
+  if (data.size() > kMaxEntryLen) {
+    return InvalidArgument("entry exceeds kMaxEntryLen");
+  }
+  // Write-once: segment creation is the atomic claim on the position.
+  Bytes framed;
+  framed.push_back(kEntryData);
+  PutU32(framed, static_cast<uint32_t>(data.size()));
+  PutBytes(framed, ByteSpan(data.data(), data.size()));
+  PutU32(framed, Crc32c(data));
+  Status created = store_->CreateWithId(EntrySegment(position), framed.size(),
+                                        {.durable = true});
+  if (!created.ok()) {
+    if (created.code() == StatusCode::kAlreadyExists) {
+      return AlreadyExists("position already written (write-once)");
+    }
+    return created;
+  }
+  return store_->Write(EntrySegment(position), 0, ByteSpan(framed.data(), framed.size()));
+}
+
+Result<Bytes> CorfuLog::Read(uint64_t position) {
+  if (position >= tail_) {
+    return OutOfRange("read past log tail");
+  }
+  if (position < trim_point_) {
+    return OutOfRange("position trimmed");
+  }
+  auto desc = store_->Describe(EntrySegment(position));
+  if (!desc.ok()) {
+    return NotFound("hole: position reserved but unwritten");
+  }
+  ASSIGN_OR_RETURN(Bytes framed, store_->Read(EntrySegment(position), 0, desc->size));
+  ByteReader reader(ByteSpan(framed.data(), framed.size()));
+  const uint8_t kind = reader.ReadU8();
+  if (kind == kEntryHole) {
+    return DataLoss("position was hole-filled");
+  }
+  if (kind != kEntryData) {
+    return DataLoss("corrupt log entry header");
+  }
+  const uint32_t len = reader.ReadU32();
+  Bytes data = reader.ReadBytes(len);
+  const uint32_t stored_crc = reader.ReadU32();
+  if (!reader.Ok()) {
+    return DataLoss("truncated log entry");
+  }
+  if (Crc32c(ByteSpan(data.data(), data.size())) != stored_crc) {
+    return DataLoss("log entry checksum mismatch");
+  }
+  return data;
+}
+
+Status CorfuLog::Fill(uint64_t position) {
+  if (position >= tail_) {
+    return OutOfRange("cannot fill past tail");
+  }
+  Bytes framed;
+  framed.push_back(kEntryHole);
+  Status created =
+      store_->CreateWithId(EntrySegment(position), framed.size(), {.durable = true});
+  if (!created.ok()) {
+    if (created.code() == StatusCode::kAlreadyExists) {
+      return AlreadyExists("position already written");
+    }
+    return created;
+  }
+  return store_->Write(EntrySegment(position), 0, ByteSpan(framed.data(), framed.size()));
+}
+
+Result<uint64_t> CorfuLog::Append(ByteSpan data) {
+  const uint64_t position = Reserve();
+  RETURN_IF_ERROR(WriteAt(position, data));
+  return position;
+}
+
+Status CorfuLog::Trim(uint64_t prefix) {
+  if (prefix > tail_) {
+    return OutOfRange("trim past tail");
+  }
+  for (uint64_t p = trim_point_; p < prefix; ++p) {
+    // Unwritten holes inside the trimmed prefix have no segment; ignore.
+    Status st = store_->Delete(EntrySegment(p));
+    if (!st.ok() && st.code() != StatusCode::kNotFound) {
+      return st;
+    }
+  }
+  trim_point_ = prefix;
+  return Status::Ok();
+}
+
+}  // namespace hyperion::storage

@@ -1,0 +1,78 @@
+// Corfu-style shared log (paper §2.4: "network-attached SSDs that can
+// support Corfu consensus protocol", citing CORFU [20] and Beyond Block
+// I/O [165]).
+//
+// The log is a sequence of write-once positions. A sequencer hands out
+// positions (the only centralized step); data then goes directly to the
+// storage unit owning that position. Write-once is enforced by the storage
+// layer: a second write to a position fails, which is what makes the log a
+// consensus building block. Slow writers leave holes that readers (or a
+// repair process) fill with junk so the log remains prefix-readable.
+//
+// Positions stripe across `stripe_units` virtual storage units; each entry
+// lives in its own durable 128-bit-addressed segment, so on Hyperion the
+// whole log is served by the DPU with no host CPU (experiment E9).
+
+#ifndef HYPERION_SRC_STORAGE_CORFU_H_
+#define HYPERION_SRC_STORAGE_CORFU_H_
+
+#include <cstdint>
+
+#include "src/common/result.h"
+#include "src/mem/object_store.h"
+
+namespace hyperion::storage {
+
+class CorfuLog {
+ public:
+  static constexpr uint32_t kMaxEntryLen = 4000;
+
+  CorfuLog(mem::ObjectStore* store, uint64_t log_id, uint32_t stripe_units = 4)
+      : store_(store), log_id_(log_id), stripe_units_(stripe_units) {}
+
+  // -- Client-driven protocol (the fast path) -------------------------------
+
+  // Sequencer: reserves the next position. Pure counter; never blocks.
+  uint64_t Reserve() { return tail_++; }
+
+  // Writes `data` to a reserved position. kAlreadyExists if the position
+  // was already written or hole-filled (write-once).
+  Status WriteAt(uint64_t position, ByteSpan data);
+
+  // Reads a position. kNotFound if unwritten; kDataLoss if it was
+  // hole-filled (the entry is permanently lost); kOutOfRange past tail.
+  Result<Bytes> Read(uint64_t position);
+
+  // Junk-fills a hole so readers can make progress (write-once also holds
+  // for fills).
+  Status Fill(uint64_t position);
+
+  // -- Convenience ------------------------------------------------------------
+
+  // Reserve + WriteAt in one step; returns the position.
+  Result<uint64_t> Append(ByteSpan data);
+
+  uint64_t Tail() const { return tail_; }
+
+  // Reclaims all positions < prefix.
+  Status Trim(uint64_t prefix);
+  uint64_t TrimPoint() const { return trim_point_; }
+
+  // Storage unit owning a position (round-robin striping).
+  uint32_t UnitOf(uint64_t position) const {
+    return static_cast<uint32_t>(position % stripe_units_);
+  }
+
+ private:
+  mem::SegmentId EntrySegment(uint64_t position) const;
+
+  mem::ObjectStore* store_;
+  uint64_t log_id_;
+  uint32_t stripe_units_;
+  uint64_t tail_ = 0;
+  uint64_t trim_point_ = 0;
+};
+
+}  // namespace hyperion::storage
+
+#endif  // HYPERION_SRC_STORAGE_CORFU_H_

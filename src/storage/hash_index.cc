@@ -1,0 +1,161 @@
+#include "src/storage/hash_index.h"
+
+#include <bit>
+
+#include "src/common/check.h"
+
+namespace hyperion::storage {
+
+struct HashIndex::Bucket {
+  std::vector<std::pair<Bytes, Bytes>> entries;
+  uint64_t overflow = 0;  // 0 = none
+
+  size_t SerializedSize() const {
+    size_t n = 4 + 8;
+    for (const auto& [k, v] : entries) {
+      n += 8 + k.size() + v.size();
+    }
+    return n;
+  }
+
+  Bytes Serialize() const {
+    Bytes out;
+    PutU32(out, static_cast<uint32_t>(entries.size()));
+    PutU64(out, overflow);
+    for (const auto& [k, v] : entries) {
+      PutU32(out, static_cast<uint32_t>(k.size()));
+      PutBytes(out, ByteSpan(k.data(), k.size()));
+      PutU32(out, static_cast<uint32_t>(v.size()));
+      PutBytes(out, ByteSpan(v.data(), v.size()));
+    }
+    CHECK_LE(out.size(), kBucketBytes);
+    return out;
+  }
+
+  static Result<Bucket> Deserialize(ByteSpan data) {
+    ByteReader reader(data);
+    Bucket bucket;
+    const uint32_t count = reader.ReadU32();
+    bucket.overflow = reader.ReadU64();
+    if (count > kBucketBytes / 9) {
+      return DataLoss("implausible bucket entry count");
+    }
+    bucket.entries.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      const uint32_t klen = reader.ReadU32();
+      Bytes key = reader.ReadBytes(klen);
+      const uint32_t vlen = reader.ReadU32();
+      Bytes value = reader.ReadBytes(vlen);
+      if (!reader.Ok()) {
+        return DataLoss("torn hash bucket");
+      }
+      bucket.entries.emplace_back(std::move(key), std::move(value));
+    }
+    return bucket;
+  }
+};
+
+Result<HashIndex> HashIndex::Create(mem::ObjectStore* store, uint64_t index_id, uint32_t buckets,
+                                    mem::SegmentHints hints) {
+  if (buckets == 0) {
+    return InvalidArgument("need at least one bucket");
+  }
+  const uint32_t rounded = std::bit_ceil(buckets);
+  HashIndex index(store, index_id, rounded, hints);
+  index.next_overflow_id_ = rounded;
+  Bucket empty;
+  for (uint32_t b = 0; b < rounded; ++b) {
+    RETURN_IF_ERROR(store->CreateWithId(index.BucketSegment(b), kBucketBytes, hints));
+    RETURN_IF_ERROR(index.WriteBucket(b, empty));
+  }
+  return index;
+}
+
+mem::SegmentId HashIndex::BucketSegment(uint64_t bucket_id) const {
+  return mem::SegmentId(0x4A54000000000000ull | index_id_, bucket_id);
+}
+
+Result<HashIndex::Bucket> HashIndex::ReadBucket(uint64_t bucket_id) {
+  ++bucket_reads_;
+  ASSIGN_OR_RETURN(Bytes raw, store_->Read(BucketSegment(bucket_id), 0, kBucketBytes));
+  return Bucket::Deserialize(ByteSpan(raw.data(), raw.size()));
+}
+
+Status HashIndex::WriteBucket(uint64_t bucket_id, const Bucket& bucket) {
+  Bytes raw = bucket.Serialize();
+  raw.resize(kBucketBytes, 0);
+  return store_->Write(BucketSegment(bucket_id), 0, ByteSpan(raw.data(), raw.size()));
+}
+
+Result<uint64_t> HashIndex::AllocateOverflow() {
+  const uint64_t id = next_overflow_id_++;
+  RETURN_IF_ERROR(store_->CreateWithId(BucketSegment(id), kBucketBytes, hints_));
+  RETURN_IF_ERROR(WriteBucket(id, Bucket{}));
+  return id;
+}
+
+Status HashIndex::Put(ByteSpan key, ByteSpan value) {
+  if (key.empty() || value.size() > kMaxValueLen) {
+    return InvalidArgument("bad key/value size");
+  }
+  uint64_t bucket_id = Fnv1a64(key) & (bucket_count_ - 1);
+  while (true) {
+    ASSIGN_OR_RETURN(Bucket bucket, ReadBucket(bucket_id));
+    for (auto& [k, v] : bucket.entries) {
+      if (k.size() == key.size() && std::equal(k.begin(), k.end(), key.begin())) {
+        v.assign(value.begin(), value.end());
+        return WriteBucket(bucket_id, bucket);
+      }
+    }
+    // Append here if it fits, otherwise chase/extend the overflow chain.
+    const size_t needed = 8 + key.size() + value.size();
+    if (bucket.SerializedSize() + needed <= kBucketBytes) {
+      bucket.entries.emplace_back(Bytes(key.begin(), key.end()),
+                                  Bytes(value.begin(), value.end()));
+      ++entry_count_;
+      return WriteBucket(bucket_id, bucket);
+    }
+    if (bucket.overflow == 0) {
+      ASSIGN_OR_RETURN(bucket.overflow, AllocateOverflow());
+      RETURN_IF_ERROR(WriteBucket(bucket_id, bucket));
+    }
+    bucket_id = bucket.overflow;
+  }
+}
+
+Result<Bytes> HashIndex::Get(ByteSpan key) {
+  uint64_t bucket_id = Fnv1a64(key) & (bucket_count_ - 1);
+  while (true) {
+    ASSIGN_OR_RETURN(Bucket bucket, ReadBucket(bucket_id));
+    for (const auto& [k, v] : bucket.entries) {
+      if (k.size() == key.size() && std::equal(k.begin(), k.end(), key.begin())) {
+        return v;
+      }
+    }
+    if (bucket.overflow == 0) {
+      return NotFound("key not in index");
+    }
+    bucket_id = bucket.overflow;
+  }
+}
+
+Status HashIndex::Delete(ByteSpan key) {
+  uint64_t bucket_id = Fnv1a64(key) & (bucket_count_ - 1);
+  while (true) {
+    ASSIGN_OR_RETURN(Bucket bucket, ReadBucket(bucket_id));
+    for (size_t i = 0; i < bucket.entries.size(); ++i) {
+      const Bytes& k = bucket.entries[i].first;
+      if (k.size() == key.size() && std::equal(k.begin(), k.end(), key.begin())) {
+        bucket.entries.erase(bucket.entries.begin() + static_cast<ptrdiff_t>(i));
+        --entry_count_;
+        return WriteBucket(bucket_id, bucket);
+      }
+    }
+    if (bucket.overflow == 0) {
+      return NotFound("key not in index");
+    }
+    bucket_id = bucket.overflow;
+  }
+}
+
+}  // namespace hyperion::storage

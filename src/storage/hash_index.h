@@ -1,0 +1,60 @@
+// Persistent hash index over the single-level store.
+//
+// The third "familiar reusable core storage abstraction" of §4 (trees, hash
+// tables, graphs). Fixed directory of buckets, each bucket one segment;
+// collisions chain through overflow buckets. O(1 + chain) segment reads per
+// lookup — the contrast with tree walks in the pointer-chasing experiment.
+
+#ifndef HYPERION_SRC_STORAGE_HASH_INDEX_H_
+#define HYPERION_SRC_STORAGE_HASH_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/mem/object_store.h"
+
+namespace hyperion::storage {
+
+class HashIndex {
+ public:
+  static constexpr uint32_t kBucketBytes = 4096;
+  static constexpr uint32_t kMaxValueLen = 256;
+
+  // Creates an index with `buckets` top-level buckets (rounded to a power
+  // of two).
+  static Result<HashIndex> Create(mem::ObjectStore* store, uint64_t index_id, uint32_t buckets,
+                                  mem::SegmentHints hints = {.durable = true});
+
+  Status Put(ByteSpan key, ByteSpan value);
+  Result<Bytes> Get(ByteSpan key);
+  Status Delete(ByteSpan key);
+
+  uint64_t EntryCount() const { return entry_count_; }
+  uint64_t BucketReads() const { return bucket_reads_; }
+  void ResetStats() { bucket_reads_ = 0; }
+
+ private:
+  HashIndex(mem::ObjectStore* store, uint64_t index_id, uint32_t buckets,
+            mem::SegmentHints hints)
+      : store_(store), index_id_(index_id), bucket_count_(buckets), hints_(hints) {}
+
+  struct Bucket;
+
+  mem::SegmentId BucketSegment(uint64_t bucket_id) const;
+  Result<Bucket> ReadBucket(uint64_t bucket_id);
+  Status WriteBucket(uint64_t bucket_id, const Bucket& bucket);
+  Result<uint64_t> AllocateOverflow();
+
+  mem::ObjectStore* store_;
+  uint64_t index_id_;
+  uint32_t bucket_count_;
+  mem::SegmentHints hints_;
+  uint64_t next_overflow_id_ = 0;  // overflow ids live above bucket_count_
+  uint64_t entry_count_ = 0;
+  uint64_t bucket_reads_ = 0;
+};
+
+}  // namespace hyperion::storage
+
+#endif  // HYPERION_SRC_STORAGE_HASH_INDEX_H_

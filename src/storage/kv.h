@@ -1,0 +1,63 @@
+// KV-SSD facade (paper §2: storage API menu "NVMoF, KV, ZNS"; §2.4:
+// network-attached SSDs exporting "trees, lookup-tables").
+//
+// One key-value interface over a pluggable index backend so workloads (and
+// experiment E9's YCSB-style mixes) can choose read-optimized (B+ tree),
+// write-optimized (LSM), or point-lookup-optimized (hash) layouts without
+// changing call sites. Keys are u64 (KV-SSD style fixed keys); values are
+// byte strings of any size: small values inline in the index, large ones
+// spill into their own durable segments with a reference in the index (the
+// classic KV-SSD value-log split).
+
+#ifndef HYPERION_SRC_STORAGE_KV_H_
+#define HYPERION_SRC_STORAGE_KV_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/mem/object_store.h"
+#include "src/storage/bptree.h"
+#include "src/storage/hash_index.h"
+#include "src/storage/lsm.h"
+
+namespace hyperion::storage {
+
+enum class KvBackend { kBTree, kLsm, kHash };
+
+std::string_view KvBackendName(KvBackend backend);
+
+class KvStore {
+ public:
+  static Result<KvStore> Create(mem::ObjectStore* store, uint64_t store_id, KvBackend backend);
+
+  Status Put(uint64_t key, ByteSpan value);
+  Result<Bytes> Get(uint64_t key);
+  Status Delete(uint64_t key);
+
+  // Ordered scan; kUnimplemented on the hash backend.
+  Result<std::vector<std::pair<uint64_t, Bytes>>> Scan(uint64_t lo, uint64_t hi);
+
+  KvBackend backend() const { return backend_; }
+
+ private:
+  explicit KvStore(KvBackend backend) : backend_(backend) {}
+
+  Status IndexPut(uint64_t key, ByteSpan tagged);
+  Result<Bytes> IndexGet(uint64_t key);
+  Status IndexDelete(uint64_t key);
+  // Deletes the spilled value segment for `key`, if one exists.
+  Status DropIndirect(uint64_t key);
+
+  KvBackend backend_;
+  mem::ObjectStore* store_ = nullptr;
+  uint64_t store_id_ = 0;
+  std::unique_ptr<BPlusTree> btree_;
+  std::unique_ptr<LsmTree> lsm_;
+  std::unique_ptr<HashIndex> hash_;
+};
+
+}  // namespace hyperion::storage
+
+#endif  // HYPERION_SRC_STORAGE_KV_H_

@@ -1,0 +1,347 @@
+#include "src/storage/lsm.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace hyperion::storage {
+
+namespace {
+// Entry wire format within a block: key(8) flag(1) len(4) data(len).
+size_t EntryBytes(const std::optional<Bytes>& value) {
+  return 8 + 1 + 4 + (value.has_value() ? value->size() : 0);
+}
+
+uint64_t BloomHash(uint64_t key, uint64_t salt) {
+  uint64_t x = key ^ (salt * 0x9e3779b97f4a7c15ULL);
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  return x;
+}
+
+constexpr int kBloomHashes = 4;
+constexpr uint64_t kBloomBitsPerKey = 10;
+}  // namespace
+
+void LsmTree::BloomAdd(std::vector<uint64_t>& bits, uint64_t key) {
+  const uint64_t nbits = bits.size() * 64;
+  for (int i = 0; i < kBloomHashes; ++i) {
+    const uint64_t bit = BloomHash(key, static_cast<uint64_t>(i)) % nbits;
+    bits[bit / 64] |= 1ull << (bit % 64);
+  }
+}
+
+bool LsmTree::BloomMayContain(const std::vector<uint64_t>& bits, uint64_t key) {
+  const uint64_t nbits = bits.size() * 64;
+  for (int i = 0; i < kBloomHashes; ++i) {
+    const uint64_t bit = BloomHash(key, static_cast<uint64_t>(i)) % nbits;
+    if ((bits[bit / 64] & (1ull << (bit % 64))) == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Status LsmTree::Put(uint64_t key, ByteSpan value) {
+  if (value.size() > kMaxValueLen) {
+    return InvalidArgument("value exceeds kMaxValueLen");
+  }
+  ++stats_.puts;
+  auto entry = std::make_optional(Bytes(value.begin(), value.end()));
+  memtable_bytes_ += EntryBytes(entry);
+  memtable_[key] = std::move(entry);
+  if (memtable_bytes_ >= memtable_budget_) {
+    RETURN_IF_ERROR(Flush());
+  }
+  return Status::Ok();
+}
+
+Status LsmTree::Delete(uint64_t key) {
+  memtable_bytes_ += EntryBytes(std::nullopt);
+  memtable_[key] = std::nullopt;
+  if (memtable_bytes_ >= memtable_budget_) {
+    RETURN_IF_ERROR(Flush());
+  }
+  return Status::Ok();
+}
+
+Result<LsmTree::SsTable> LsmTree::WriteTable(
+    const std::vector<std::pair<uint64_t, std::optional<Bytes>>>& entries) {
+  CHECK(!entries.empty());
+  SsTable table;
+  table.min_key = entries.front().first;
+  table.max_key = entries.back().first;
+  const uint64_t bloom_words =
+      std::max<uint64_t>(1, entries.size() * kBloomBitsPerKey / 64 + 1);
+  table.bloom.assign(bloom_words, 0);
+
+  // Pack entries into 4 KiB blocks.
+  Bytes data;
+  uint32_t block_start = 0;
+  uint64_t block_first_key = entries.front().first;
+  bool block_open = false;
+  for (const auto& [key, value] : entries) {
+    if (!block_open) {
+      block_first_key = key;
+      block_start = static_cast<uint32_t>(data.size());
+      block_open = true;
+    }
+    BloomAdd(table.bloom, key);
+    PutU64(data, key);
+    data.push_back(value.has_value() ? 1 : 2);  // 0 is reserved for padding
+    PutU32(data, value.has_value() ? static_cast<uint32_t>(value->size()) : 0);
+    if (value.has_value()) {
+      PutBytes(data, ByteSpan(value->data(), value->size()));
+    }
+    if (data.size() - block_start >= kBlockBytes - (8 + 1 + 4 + kMaxValueLen)) {
+      table.index.emplace_back(block_first_key, block_start);
+      // Pad to the block boundary so block reads are aligned units.
+      data.resize(block_start + kBlockBytes, 0);
+      block_open = false;
+    }
+  }
+  if (block_open) {
+    table.index.emplace_back(block_first_key, block_start);
+    data.resize(block_start + kBlockBytes, 0);
+  }
+  table.data_bytes = data.size();
+
+  const uint64_t table_id = next_table_id_++;
+  table.segment = mem::SegmentId(0x15A7000000000000ull | tree_id_, table_id);
+  RETURN_IF_ERROR(store_->CreateWithId(table.segment, data.size(), {.durable = true}));
+  RETURN_IF_ERROR(store_->Write(table.segment, 0, ByteSpan(data.data(), data.size())));
+  return table;
+}
+
+Status LsmTree::Flush() {
+  if (memtable_.empty()) {
+    return Status::Ok();
+  }
+  std::vector<std::pair<uint64_t, std::optional<Bytes>>> entries(memtable_.begin(),
+                                                                 memtable_.end());
+  ASSIGN_OR_RETURN(SsTable table, WriteTable(entries));
+  l0_.push_back(std::move(table));
+  memtable_.clear();
+  memtable_bytes_ = 0;
+  ++stats_.flushes;
+  return MaybeCompact();
+}
+
+Result<std::optional<std::optional<Bytes>>> LsmTree::TableGet(const SsTable& table,
+                                                              uint64_t key) {
+  if (key < table.min_key || key > table.max_key) {
+    return std::optional<std::optional<Bytes>>{};
+  }
+  if (!BloomMayContain(table.bloom, key)) {
+    ++stats_.bloom_skips;
+    return std::optional<std::optional<Bytes>>{};
+  }
+  // Sparse index: the last block whose first key <= key.
+  auto it = std::upper_bound(table.index.begin(), table.index.end(), key,
+                             [](uint64_t k, const auto& e) { return k < e.first; });
+  if (it == table.index.begin()) {
+    return std::optional<std::optional<Bytes>>{};
+  }
+  --it;
+  ++stats_.sstable_block_reads;
+  const uint64_t remaining = table.data_bytes - it->second;
+  ASSIGN_OR_RETURN(Bytes block, store_->Read(table.segment, it->second,
+                                             std::min<uint64_t>(kBlockBytes, remaining)));
+  ByteReader reader(ByteSpan(block.data(), block.size()));
+  while (reader.remaining() >= 13) {
+    const uint64_t entry_key = reader.ReadU64();
+    const uint8_t live = reader.ReadU8();
+    const uint32_t len = reader.ReadU32();
+    if (entry_key == 0 && live == 0 && len == 0) {
+      break;  // padding reached
+    }
+    Bytes value = reader.ReadBytes(len);
+    if (!reader.Ok()) {
+      return DataLoss("torn SSTable block");
+    }
+    if (entry_key == key) {
+      if (live == 1) {
+        return std::make_optional(std::make_optional(std::move(value)));
+      }
+      return std::make_optional(std::optional<Bytes>{});  // tombstone
+    }
+    if (entry_key > key) {
+      break;  // sorted: passed it
+    }
+  }
+  return std::optional<std::optional<Bytes>>{};
+}
+
+Result<Bytes> LsmTree::Get(uint64_t key) {
+  ++stats_.gets;
+  auto mem_it = memtable_.find(key);
+  if (mem_it != memtable_.end()) {
+    ++stats_.memtable_hits;
+    if (!mem_it->second.has_value()) {
+      return NotFound("deleted");
+    }
+    return *mem_it->second;
+  }
+  // L0 newest-first (later tables shadow earlier ones).
+  for (auto it = l0_.rbegin(); it != l0_.rend(); ++it) {
+    ASSIGN_OR_RETURN(auto found, TableGet(*it, key));
+    if (found.has_value()) {
+      if (!found->has_value()) {
+        return NotFound("deleted");
+      }
+      return **found;
+    }
+  }
+  // L1: disjoint ranges; at most one candidate.
+  for (const SsTable& table : l1_) {
+    if (key >= table.min_key && key <= table.max_key) {
+      ASSIGN_OR_RETURN(auto found, TableGet(table, key));
+      if (found.has_value()) {
+        if (!found->has_value()) {
+          return NotFound("deleted");
+        }
+        return **found;
+      }
+      break;
+    }
+  }
+  return NotFound("key not in LSM tree");
+}
+
+Result<std::vector<std::pair<uint64_t, std::optional<Bytes>>>> LsmTree::TableEntries(
+    const SsTable& table) {
+  std::vector<std::pair<uint64_t, std::optional<Bytes>>> out;
+  for (size_t b = 0; b < table.index.size(); ++b) {
+    const uint32_t offset = table.index[b].second;
+    const uint64_t remaining = table.data_bytes - offset;
+    ++stats_.sstable_block_reads;
+    ASSIGN_OR_RETURN(Bytes block, store_->Read(table.segment, offset,
+                                               std::min<uint64_t>(kBlockBytes, remaining)));
+    ByteReader reader(ByteSpan(block.data(), block.size()));
+    while (reader.remaining() >= 13) {
+      const uint64_t key = reader.ReadU64();
+      const uint8_t live = reader.ReadU8();
+      const uint32_t len = reader.ReadU32();
+      if (key == 0 && live == 0 && len == 0) {
+        break;
+      }
+      Bytes value = reader.ReadBytes(len);
+      if (!reader.Ok()) {
+        return DataLoss("torn SSTable block");
+      }
+      if (live == 1) {
+        out.emplace_back(key, std::make_optional(std::move(value)));
+      } else {
+        out.emplace_back(key, std::nullopt);
+      }
+    }
+  }
+  return out;
+}
+
+Status LsmTree::MaybeCompact() {
+  if (l0_.size() < kMaxL0Tables) {
+    return Status::Ok();
+  }
+  ++stats_.compactions;
+  // Full merge of L0 (newest wins) and L1 into a fresh L1 run.
+  std::map<uint64_t, std::optional<Bytes>> merged;
+  for (const SsTable& table : l1_) {
+    ASSIGN_OR_RETURN(auto entries, TableEntries(table));
+    for (auto& [k, v] : entries) {
+      merged[k] = std::move(v);
+    }
+  }
+  for (const SsTable& table : l0_) {  // oldest..newest: later overwrite
+    ASSIGN_OR_RETURN(auto entries, TableEntries(table));
+    for (auto& [k, v] : entries) {
+      merged[k] = std::move(v);
+    }
+  }
+  // Drop tombstones at the bottom level and release old segments.
+  for (const SsTable& table : l0_) {
+    stats_.bytes_compacted += table.data_bytes;
+    RETURN_IF_ERROR(store_->Delete(table.segment));
+  }
+  for (const SsTable& table : l1_) {
+    stats_.bytes_compacted += table.data_bytes;
+    RETURN_IF_ERROR(store_->Delete(table.segment));
+  }
+  l0_.clear();
+  l1_.clear();
+  std::vector<std::pair<uint64_t, std::optional<Bytes>>> live;
+  live.reserve(merged.size());
+  for (auto& [k, v] : merged) {
+    if (v.has_value()) {
+      live.emplace_back(k, std::move(v));
+    }
+  }
+  if (!live.empty()) {
+    // Split the run into ~1 MiB tables with disjoint ranges.
+    constexpr uint64_t kRunTableBudget = 1 << 20;
+    std::vector<std::pair<uint64_t, std::optional<Bytes>>> chunk;
+    uint64_t chunk_bytes = 0;
+    for (auto& entry : live) {
+      chunk_bytes += EntryBytes(entry.second);
+      chunk.push_back(std::move(entry));
+      if (chunk_bytes >= kRunTableBudget) {
+        ASSIGN_OR_RETURN(SsTable t, WriteTable(chunk));
+        l1_.push_back(std::move(t));
+        chunk.clear();
+        chunk_bytes = 0;
+      }
+    }
+    if (!chunk.empty()) {
+      ASSIGN_OR_RETURN(SsTable t, WriteTable(chunk));
+      l1_.push_back(std::move(t));
+    }
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<std::pair<uint64_t, Bytes>>> LsmTree::Scan(uint64_t lo, uint64_t hi) {
+  if (lo > hi) {
+    return InvalidArgument("scan range is inverted");
+  }
+  // Layer the levels oldest-first so later inserts shadow earlier ones.
+  std::map<uint64_t, std::optional<Bytes>> merged;
+  auto absorb = [&](const SsTable& table) -> Status {
+    if (table.max_key < lo || table.min_key > hi) {
+      return Status::Ok();  // disjoint
+    }
+    ASSIGN_OR_RETURN(auto entries, TableEntries(table));
+    for (auto& [key, value] : entries) {
+      if (key >= lo && key <= hi) {
+        merged[key] = std::move(value);
+      }
+    }
+    return Status::Ok();
+  };
+  for (const SsTable& table : l1_) {
+    RETURN_IF_ERROR(absorb(table));
+  }
+  for (const SsTable& table : l0_) {  // oldest..newest
+    RETURN_IF_ERROR(absorb(table));
+  }
+  for (auto it = memtable_.lower_bound(lo); it != memtable_.end() && it->first <= hi; ++it) {
+    merged[it->first] = it->second;
+  }
+  std::vector<std::pair<uint64_t, Bytes>> out;
+  for (auto& [key, value] : merged) {
+    if (value.has_value()) {
+      out.emplace_back(key, std::move(*value));
+    }
+  }
+  return out;
+}
+
+std::pair<uint32_t, uint32_t> LsmTree::TableCounts() const {
+  return {static_cast<uint32_t>(l0_.size()), static_cast<uint32_t>(l1_.size())};
+}
+
+uint32_t LsmTree::ReadFanout() const {
+  return 1 + static_cast<uint32_t>(l0_.size()) + (l1_.empty() ? 0 : 1);
+}
+
+}  // namespace hyperion::storage

@@ -1,0 +1,107 @@
+// LSM tree over the single-level store (paper §2.3/§2.4).
+//
+// Write-optimized counterpart to the B+ tree: puts land in a memtable
+// (DRAM-tier), which flushes to immutable SSTable segments (NVMe-tier,
+// durable). Reads consult memtable -> L0 tables newest-first -> the L1
+// sorted run, with per-table bloom filters to skip flash reads. When L0
+// accumulates kMaxL0Tables, everything merges into a fresh L1 run
+// (size-tiered full-merge compaction — the operation FPGA offload work like
+// the paper's citation [171] accelerates).
+//
+// Per-level statistics make the read/write amplification visible for the
+// pointer-chasing and KV experiments.
+
+#ifndef HYPERION_SRC_STORAGE_LSM_H_
+#define HYPERION_SRC_STORAGE_LSM_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/mem/object_store.h"
+
+namespace hyperion::storage {
+
+struct LsmStats {
+  uint64_t puts = 0;
+  uint64_t gets = 0;
+  uint64_t memtable_hits = 0;
+  uint64_t bloom_skips = 0;      // flash reads avoided by bloom filters
+  uint64_t sstable_block_reads = 0;
+  uint64_t flushes = 0;
+  uint64_t compactions = 0;
+  uint64_t bytes_compacted = 0;
+};
+
+class LsmTree {
+ public:
+  static constexpr uint32_t kBlockBytes = 4096;
+  static constexpr uint32_t kMaxL0Tables = 4;
+  static constexpr uint32_t kMaxValueLen = 1024;
+
+  LsmTree(mem::ObjectStore* store, uint64_t tree_id,
+          uint64_t memtable_budget_bytes = 256 * 1024)
+      : store_(store), tree_id_(tree_id), memtable_budget_(memtable_budget_bytes) {}
+
+  Status Put(uint64_t key, ByteSpan value);
+  Status Delete(uint64_t key);  // writes a tombstone
+  Result<Bytes> Get(uint64_t key);
+
+  // Forces the memtable to an L0 SSTable (e.g. before shutdown).
+  Status Flush();
+
+  // Ordered range scan over [lo, hi]: merges L1, L0 (oldest..newest), and
+  // the memtable with newest-wins semantics; tombstoned keys are omitted.
+  Result<std::vector<std::pair<uint64_t, Bytes>>> Scan(uint64_t lo, uint64_t hi);
+
+  // Number of SSTables currently live per level {L0, L1}.
+  std::pair<uint32_t, uint32_t> TableCounts() const;
+  // Levels a Get may have to consult (memtable + L0 tables + L1): the
+  // "pointer chase depth" analogue for E5.
+  uint32_t ReadFanout() const;
+
+  const LsmStats& stats() const { return stats_; }
+
+ private:
+  struct SsTable {
+    mem::SegmentId segment;
+    uint64_t data_bytes = 0;
+    uint64_t min_key = 0;
+    uint64_t max_key = 0;
+    std::vector<uint64_t> bloom;  // bit array
+    // Sparse index: first key of each block -> block offset in the segment.
+    std::vector<std::pair<uint64_t, uint32_t>> index;
+  };
+
+  static void BloomAdd(std::vector<uint64_t>& bits, uint64_t key);
+  static bool BloomMayContain(const std::vector<uint64_t>& bits, uint64_t key);
+
+  // Writes sorted (key, value-or-tombstone) entries as an SSTable.
+  Result<SsTable> WriteTable(
+      const std::vector<std::pair<uint64_t, std::optional<Bytes>>>& entries);
+  // Point lookup inside one table; outer optional = found?, inner = value
+  // or tombstone.
+  Result<std::optional<std::optional<Bytes>>> TableGet(const SsTable& table, uint64_t key);
+  // Reads every entry back out of a table (for compaction).
+  Result<std::vector<std::pair<uint64_t, std::optional<Bytes>>>> TableEntries(
+      const SsTable& table);
+
+  Status MaybeCompact();
+
+  mem::ObjectStore* store_;
+  uint64_t tree_id_;
+  uint64_t memtable_budget_;
+  uint64_t memtable_bytes_ = 0;
+  uint64_t next_table_id_ = 1;
+
+  std::map<uint64_t, std::optional<Bytes>> memtable_;  // nullopt = tombstone
+  std::vector<SsTable> l0_;  // newest last
+  std::vector<SsTable> l1_;  // single sorted run, disjoint ranges, ascending
+  LsmStats stats_;
+};
+
+}  // namespace hyperion::storage
+
+#endif  // HYPERION_SRC_STORAGE_LSM_H_

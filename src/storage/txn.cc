@@ -1,0 +1,190 @@
+#include "src/storage/txn.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/common/check.h"
+
+namespace hyperion::storage {
+
+namespace {
+constexpr uint8_t kRecRedo = 1;
+constexpr uint8_t kRecCommit = 2;
+
+mem::SegmentId WalSegment(uint64_t wal_id) {
+  return mem::SegmentId(0x3A10000000000000ull, wal_id);
+}
+}  // namespace
+
+Result<TransactionManager> TransactionManager::Create(mem::ObjectStore* store, uint64_t wal_id) {
+  const mem::SegmentId seg = WalSegment(wal_id);
+  RETURN_IF_ERROR(store->CreateWithId(seg, kWalCapacity, {.durable = true}));
+  TransactionManager mgr(store, seg);
+  // Initialize the durable tail pointer to "empty".
+  Bytes tail;
+  PutU64(tail, 8);
+  RETURN_IF_ERROR(store->Write(seg, 0, ByteSpan(tail.data(), tail.size())));
+  return mgr;
+}
+
+Result<TransactionManager> TransactionManager::Attach(mem::ObjectStore* store, uint64_t wal_id) {
+  const mem::SegmentId seg = WalSegment(wal_id);
+  RETURN_IF_ERROR(store->Describe(seg).status());
+  TransactionManager mgr(store, seg);
+  RETURN_IF_ERROR(mgr.LoadTailOffset());
+  return mgr;
+}
+
+Status TransactionManager::LoadTailOffset() {
+  ASSIGN_OR_RETURN(Bytes tail, store_->Read(wal_segment_, 0, 8));
+  wal_offset_ = GetU64(tail, 0);
+  if (wal_offset_ < 8 || wal_offset_ > kWalCapacity) {
+    return DataLoss("corrupt WAL tail pointer");
+  }
+  return Status::Ok();
+}
+
+void TransactionManager::StageWrite(Txn& txn, mem::SegmentId segment, uint64_t offset,
+                                    ByteSpan data) {
+  txn.writes.push_back(Txn::Write{segment, offset, Bytes(data.begin(), data.end())});
+}
+
+Status TransactionManager::AppendRecord(ByteSpan payload) {
+  Bytes framed;
+  PutU32(framed, static_cast<uint32_t>(payload.size()));
+  PutU32(framed, Crc32c(payload));
+  PutBytes(framed, payload);
+  if (wal_offset_ + framed.size() > kWalCapacity) {
+    return ResourceExhausted("WAL full; checkpoint required");
+  }
+  RETURN_IF_ERROR(store_->Write(wal_segment_, wal_offset_,
+                                ByteSpan(framed.data(), framed.size())));
+  wal_offset_ += framed.size();
+  return Status::Ok();
+}
+
+Status TransactionManager::Commit(const Txn& txn, CrashPoint crash) {
+  if (txn.writes.empty()) {
+    return InvalidArgument("empty transaction");
+  }
+  // Validate every target before anything touches the WAL, so the log never
+  // holds unapplyable records.
+  for (const Txn::Write& w : txn.writes) {
+    ASSIGN_OR_RETURN(mem::Segment seg, store_->Describe(w.segment));
+    if (w.offset + w.data.size() > seg.size) {
+      return OutOfRange("staged write exceeds target segment");
+    }
+  }
+  const uint64_t restore_offset = wal_offset_;
+  for (const Txn::Write& w : txn.writes) {
+    Bytes payload;
+    payload.push_back(kRecRedo);
+    PutU64(payload, txn.id);
+    PutU64(payload, w.segment.hi);
+    PutU64(payload, w.segment.lo);
+    PutU64(payload, w.offset);
+    PutU32(payload, static_cast<uint32_t>(w.data.size()));
+    PutBytes(payload, ByteSpan(w.data.data(), w.data.size()));
+    Status st = AppendRecord(ByteSpan(payload.data(), payload.size()));
+    if (!st.ok()) {
+      wal_offset_ = restore_offset;
+      return st;
+    }
+  }
+  Bytes commit;
+  commit.push_back(kRecCommit);
+  PutU64(commit, txn.id);
+  {
+    Status st = AppendRecord(ByteSpan(commit.data(), commit.size()));
+    if (!st.ok()) {
+      wal_offset_ = restore_offset;
+      return st;
+    }
+  }
+  if (crash == CrashPoint::kBeforeWalSync) {
+    // Power lost before the tail pointer hardened: the records are dead
+    // bytes past the durable tail.
+    wal_offset_ = restore_offset;
+    return Aborted("simulated crash before WAL sync");
+  }
+  // Harden: persist the tail pointer (the "sync").
+  Bytes tail;
+  PutU64(tail, wal_offset_);
+  RETURN_IF_ERROR(store_->Write(wal_segment_, 0, ByteSpan(tail.data(), tail.size())));
+  if (crash == CrashPoint::kAfterWalSync) {
+    return Aborted("simulated crash after WAL sync, before apply");
+  }
+  // Apply.
+  for (const Txn::Write& w : txn.writes) {
+    RETURN_IF_ERROR(store_->Write(w.segment, w.offset, ByteSpan(w.data.data(), w.data.size())));
+  }
+  ++committed_;
+  return Status::Ok();
+}
+
+Result<uint64_t> TransactionManager::Recover() {
+  RETURN_IF_ERROR(LoadTailOffset());
+  if (wal_offset_ == 8) {
+    return uint64_t{0};
+  }
+  ASSIGN_OR_RETURN(Bytes log, store_->Read(wal_segment_, 8, wal_offset_ - 8));
+  ByteReader reader(ByteSpan(log.data(), log.size()));
+  std::map<uint64_t, std::vector<Txn::Write>> pending;
+  std::vector<uint64_t> committed_order;
+  uint64_t max_txn_id = 0;
+  while (reader.remaining() >= 8) {
+    const uint32_t len = reader.ReadU32();
+    const uint32_t crc = reader.ReadU32();
+    Bytes payload = reader.ReadBytes(len);
+    if (!reader.Ok()) {
+      return DataLoss("truncated WAL record inside durable tail");
+    }
+    if (Crc32c(ByteSpan(payload.data(), payload.size())) != crc) {
+      return DataLoss("WAL record checksum mismatch");
+    }
+    ByteReader rec(ByteSpan(payload.data(), payload.size()));
+    const uint8_t type = rec.ReadU8();
+    const uint64_t txn_id = rec.ReadU64();
+    max_txn_id = std::max(max_txn_id, txn_id);
+    if (type == kRecRedo) {
+      Txn::Write w;
+      w.segment.hi = rec.ReadU64();
+      w.segment.lo = rec.ReadU64();
+      w.offset = rec.ReadU64();
+      const uint32_t dlen = rec.ReadU32();
+      w.data = rec.ReadBytes(dlen);
+      if (!rec.Ok()) {
+        return DataLoss("corrupt redo record");
+      }
+      pending[txn_id].push_back(std::move(w));
+    } else if (type == kRecCommit) {
+      committed_order.push_back(txn_id);
+    } else {
+      return DataLoss("unknown WAL record type");
+    }
+  }
+  uint64_t applied = 0;
+  for (uint64_t txn_id : committed_order) {
+    auto it = pending.find(txn_id);
+    if (it == pending.end()) {
+      continue;  // commit marker without redo records: nothing to do
+    }
+    for (const Txn::Write& w : it->second) {
+      RETURN_IF_ERROR(
+          store_->Write(w.segment, w.offset, ByteSpan(w.data.data(), w.data.size())));
+    }
+    ++applied;
+  }
+  next_txn_id_ = max_txn_id + 1;
+  committed_ += applied;
+  return applied;
+}
+
+Status TransactionManager::Checkpoint() {
+  wal_offset_ = 8;
+  Bytes tail;
+  PutU64(tail, 8);
+  return store_->Write(wal_segment_, 0, ByteSpan(tail.data(), tail.size()));
+}
+
+}  // namespace hyperion::storage

@@ -1,0 +1,84 @@
+// Atomic multi-segment writes with a redo WAL (paper §2.4: "atomic writes
+// [128] with transactional interfaces").
+//
+// A transaction buffers writes to any number of segments; Commit appends
+// redo records plus a commit marker to the write-ahead log, flushes, then
+// applies the writes to their target segments. Recovery replays the WAL:
+// transactions with a commit marker are re-applied (redo is idempotent),
+// anything after the last commit marker is discarded. A CrashPoint knob
+// lets tests inject a crash between WAL hardening and apply — the window
+// atomicity exists to protect.
+
+#ifndef HYPERION_SRC_STORAGE_TXN_H_
+#define HYPERION_SRC_STORAGE_TXN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/mem/object_store.h"
+
+namespace hyperion::storage {
+
+// Failure-injection points for crash-consistency tests.
+enum class CrashPoint {
+  kNone,
+  kBeforeWalSync,   // records buffered but not durable: txn must vanish
+  kAfterWalSync,    // durable but unapplied: recovery must re-apply
+};
+
+class TransactionManager {
+ public:
+  static constexpr uint64_t kWalCapacity = 4u << 20;
+
+  // The WAL lives in a dedicated durable segment derived from `wal_id`.
+  static Result<TransactionManager> Create(mem::ObjectStore* store, uint64_t wal_id);
+  // Attaches to an existing WAL (after a simulated crash/power cycle).
+  static Result<TransactionManager> Attach(mem::ObjectStore* store, uint64_t wal_id);
+
+  struct Txn {
+    uint64_t id = 0;
+    struct Write {
+      mem::SegmentId segment;
+      uint64_t offset;
+      Bytes data;
+    };
+    std::vector<Write> writes;
+  };
+
+  Txn Begin() { return Txn{next_txn_id_++, {}}; }
+
+  // Buffers a write into the transaction (validated at commit).
+  static void StageWrite(Txn& txn, mem::SegmentId segment, uint64_t offset, ByteSpan data);
+
+  // Hardens then applies the transaction. With a CrashPoint other than
+  // kNone, stops at that point (simulating power loss) and returns
+  // kAborted so tests can model the crash.
+  Status Commit(const Txn& txn, CrashPoint crash = CrashPoint::kNone);
+
+  // Replays the WAL after a crash. Returns the number of transactions
+  // re-applied.
+  Result<uint64_t> Recover();
+
+  // Truncates the WAL (checkpoint: all applied data is durable in place).
+  Status Checkpoint();
+
+  uint64_t committed() const { return committed_; }
+
+ private:
+  TransactionManager(mem::ObjectStore* store, mem::SegmentId wal_segment)
+      : store_(store), wal_segment_(wal_segment) {}
+
+  Status AppendRecord(ByteSpan payload);
+  Status LoadTailOffset();
+
+  mem::ObjectStore* store_;
+  mem::SegmentId wal_segment_;
+  uint64_t wal_offset_ = 8;  // first 8 bytes hold the durable tail offset
+  uint64_t next_txn_id_ = 1;
+  uint64_t committed_ = 0;
+};
+
+}  // namespace hyperion::storage
+
+#endif  // HYPERION_SRC_STORAGE_TXN_H_

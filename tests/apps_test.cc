@@ -1,0 +1,218 @@
+// Tests for the middleware applications: fail2ban with durable audit log,
+// and the L4 load balancer with flash spill.
+
+#include <gtest/gtest.h>
+
+#include "src/apps/fail2ban.h"
+#include "src/apps/load_balancer.h"
+#include "src/common/rng.h"
+
+namespace hyperion::apps {
+namespace {
+
+class AppsTest : public ::testing::Test {
+ protected:
+  AppsTest() : fabric_(&engine_), dpu_(&engine_, &fabric_) { CHECK_OK(dpu_.Boot()); }
+
+  sim::Engine engine_;
+  net::Fabric fabric_;
+  dpu::Hyperion dpu_;
+};
+
+// -- FlowKey -------------------------------------------------------------
+
+TEST(FlowKeyTest, HashAndEquality) {
+  FlowKey a{0x0a000001, 0x0a000002, 1234, 80, 6};
+  FlowKey b = a;
+  FlowKey c = a;
+  c.src_port = 1235;
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  EXPECT_NE(a, c);
+  EXPECT_NE(a.Hash(), c.Hash());
+}
+
+TEST(FlowKeyTest, ToStringFormatsDotted) {
+  FlowKey key{0x0a000001, 0xc0a80101, 1234, 443, 6};
+  EXPECT_EQ(key.ToString(), "10.0.0.1:1234 -> 192.168.1.1:443/6");
+}
+
+// -- Fail2Ban -------------------------------------------------------------
+
+TEST_F(AppsTest, BansAfterThreshold) {
+  auto f2b = Fail2Ban::Create(&dpu_, {.max_failures = 3});
+  ASSERT_TRUE(f2b.ok());
+  const uint32_t attacker = 0x0a000005;
+  EXPECT_EQ(*(*f2b)->OnAuthAttempt(attacker, true), Fail2Ban::Verdict::kFailedAttempt);
+  EXPECT_EQ(*(*f2b)->OnAuthAttempt(attacker, true), Fail2Ban::Verdict::kFailedAttempt);
+  EXPECT_EQ(*(*f2b)->OnAuthAttempt(attacker, true), Fail2Ban::Verdict::kBanned);
+  EXPECT_TRUE((*f2b)->IsBanned(attacker));
+  // While banned, everything is rejected.
+  EXPECT_EQ(*(*f2b)->OnAuthAttempt(attacker, false), Fail2Ban::Verdict::kBanned);
+  EXPECT_EQ((*f2b)->bans_issued(), 1u);
+}
+
+TEST_F(AppsTest, SuccessfulAuthPassesAndInnocentStaysUnbanned) {
+  auto f2b = Fail2Ban::Create(&dpu_, {});
+  ASSERT_TRUE(f2b.ok());
+  const uint32_t innocent = 0x0a000007;
+  EXPECT_EQ(*(*f2b)->OnAuthAttempt(innocent, false), Fail2Ban::Verdict::kPass);
+  EXPECT_FALSE((*f2b)->IsBanned(innocent));
+  EXPECT_EQ((*f2b)->events_logged(), 0u);
+}
+
+TEST_F(AppsTest, WindowExpiryResetsFailureCount) {
+  auto f2b = Fail2Ban::Create(&dpu_, {.max_failures = 3, .window = 10 * sim::kSecond});
+  ASSERT_TRUE(f2b.ok());
+  const uint32_t flaky = 0x0a000009;
+  ASSERT_TRUE((*f2b)->OnAuthAttempt(flaky, true).ok());
+  ASSERT_TRUE((*f2b)->OnAuthAttempt(flaky, true).ok());
+  engine_.Advance(20 * sim::kSecond);  // window expires
+  EXPECT_EQ(*(*f2b)->OnAuthAttempt(flaky, true), Fail2Ban::Verdict::kFailedAttempt);
+  EXPECT_FALSE((*f2b)->IsBanned(flaky));
+}
+
+TEST_F(AppsTest, BanExpiresAfterDuration) {
+  auto f2b = Fail2Ban::Create(&dpu_, {.max_failures = 1, .ban_duration = 60 * sim::kSecond});
+  ASSERT_TRUE(f2b.ok());
+  const uint32_t attacker = 0x0a00000b;
+  EXPECT_EQ(*(*f2b)->OnAuthAttempt(attacker, true), Fail2Ban::Verdict::kBanned);
+  engine_.Advance(120 * sim::kSecond);
+  EXPECT_FALSE((*f2b)->IsBanned(attacker));
+}
+
+TEST_F(AppsTest, AuditTrailIsDurable) {
+  auto f2b = Fail2Ban::Create(&dpu_, {.max_failures = 100});
+  ASSERT_TRUE(f2b.ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE((*f2b)->OnAuthAttempt(0x0a000001 + static_cast<uint32_t>(i), true).ok());
+  }
+  EXPECT_EQ((*f2b)->events_logged(), 10u);
+  EXPECT_EQ((*f2b)->audit_log().Tail(), 10u);
+}
+
+TEST_F(AppsTest, BanListSurvivesPowerCycle) {
+  auto f2b = Fail2Ban::Create(&dpu_, {.max_failures = 1});
+  ASSERT_TRUE(f2b.ok());
+  const uint32_t attacker = 0x0a0000ff;
+  EXPECT_EQ(*(*f2b)->OnAuthAttempt(attacker, true), Fail2Ban::Verdict::kBanned);
+  ASSERT_TRUE((*f2b)->PersistBanList().ok());
+
+  // Power cycle: recover the store, fresh app instance.
+  ASSERT_TRUE(dpu_.store().Recover().ok());
+  auto fresh = Fail2Ban::Create(&dpu_, {.max_failures = 1});
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_FALSE((*fresh)->IsBanned(attacker));
+  auto restored = (*fresh)->RestoreBanList();
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(*restored, 1u);
+  EXPECT_TRUE((*fresh)->IsBanned(attacker));
+}
+
+// -- Load balancer -----------------------------------------------------
+
+std::vector<Backend> ThreeBackends() {
+  return {{0xc0a80001, 80}, {0xc0a80002, 80}, {0xc0a80003, 80}};
+}
+
+Packet SynPacket(uint32_t src_ip, uint16_t src_port) {
+  Packet packet;
+  packet.flow = FlowKey{src_ip, 0x08080808, src_port, 443, 6};
+  packet.tcp_flags = kTcpSyn;
+  return packet;
+}
+
+TEST_F(AppsTest, FlowsAreSticky) {
+  auto lb = LoadBalancer::Create(&dpu_, ThreeBackends(), 1000);
+  ASSERT_TRUE(lb.ok());
+  Packet syn = SynPacket(0x0a000001, 5555);
+  auto first = (*lb)->Route(syn);
+  ASSERT_TRUE(first.ok());
+  Packet data = syn;
+  data.tcp_flags = kTcpAck;
+  for (int i = 0; i < 10; ++i) {
+    auto next = (*lb)->Route(data);
+    ASSERT_TRUE(next.ok());
+    EXPECT_EQ(*next, *first);
+  }
+  EXPECT_EQ((*lb)->stats().new_flows, 1u);
+  EXPECT_EQ((*lb)->stats().resident_hits, 10u);
+}
+
+TEST_F(AppsTest, LoadSpreadsAcrossBackends) {
+  auto lb = LoadBalancer::Create(&dpu_, ThreeBackends(), 100000);
+  ASSERT_TRUE(lb.ok());
+  std::map<uint16_t, int> hits;
+  Rng rng(3);
+  for (int i = 0; i < 3000; ++i) {
+    Packet syn = SynPacket(static_cast<uint32_t>(rng.Next()),
+                           static_cast<uint16_t>(rng.Uniform(60000)));
+    auto backend = (*lb)->Route(syn);
+    ASSERT_TRUE(backend.ok());
+    ++hits[static_cast<uint16_t>(backend->ip & 0xff)];
+  }
+  ASSERT_EQ(hits.size(), 3u);
+  for (const auto& [ip, count] : hits) {
+    EXPECT_GT(count, 3000 / 6) << "backend " << ip << " starved";
+  }
+}
+
+TEST_F(AppsTest, SpillsToFlashAndStaysSticky) {
+  // Resident capacity 64 but 512 concurrent flows: most spill to flash.
+  auto lb = LoadBalancer::Create(&dpu_, ThreeBackends(), 64);
+  ASSERT_TRUE(lb.ok());
+  std::vector<std::pair<Packet, Backend>> flows;
+  for (uint32_t i = 0; i < 512; ++i) {
+    Packet syn = SynPacket(0x0a000000 + i, static_cast<uint16_t>(1000 + i));
+    auto backend = (*lb)->Route(syn);
+    ASSERT_TRUE(backend.ok());
+    flows.emplace_back(syn, *backend);
+  }
+  EXPECT_GT((*lb)->stats().spills, 0u);
+  EXPECT_LE((*lb)->ResidentFlows(), 64u);
+  // Every flow — resident or spilled — still routes to its pinned backend.
+  for (auto& [packet, expected] : flows) {
+    Packet data = packet;
+    data.tcp_flags = kTcpAck;
+    auto backend = (*lb)->Route(data);
+    ASSERT_TRUE(backend.ok());
+    EXPECT_EQ(*backend, expected) << packet.flow.ToString();
+  }
+  EXPECT_GT((*lb)->stats().spill_hits, 0u);
+  EXPECT_GT((*lb)->stats().promotions, 0u);
+}
+
+TEST_F(AppsTest, StickinessSurvivesBackendChanges) {
+  auto lb = LoadBalancer::Create(&dpu_, ThreeBackends(), 1000);
+  ASSERT_TRUE(lb.ok());
+  Packet syn = SynPacket(0x0a000042, 7777);
+  auto pinned = (*lb)->Route(syn);
+  ASSERT_TRUE(pinned.ok());
+  ASSERT_TRUE((*lb)->AddBackend({0xc0a80004, 80}).ok());
+  Packet data = syn;
+  data.tcp_flags = kTcpAck;
+  auto after = (*lb)->Route(data);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(*after, *pinned);  // established flow unaffected by ring change
+}
+
+TEST_F(AppsTest, FinTearsDownFlowState) {
+  auto lb = LoadBalancer::Create(&dpu_, ThreeBackends(), 1000);
+  ASSERT_TRUE(lb.ok());
+  Packet syn = SynPacket(0x0a000050, 8888);
+  ASSERT_TRUE((*lb)->Route(syn).ok());
+  EXPECT_EQ((*lb)->ResidentFlows(), 1u);
+  Packet fin = syn;
+  fin.tcp_flags = kTcpFin;
+  ASSERT_TRUE((*lb)->Route(fin).ok());
+  EXPECT_EQ((*lb)->ResidentFlows(), 0u);
+}
+
+TEST_F(AppsTest, CannotRemoveLastBackend) {
+  auto lb = LoadBalancer::Create(&dpu_, {{0xc0a80001, 80}}, 10);
+  ASSERT_TRUE(lb.ok());
+  EXPECT_EQ((*lb)->RemoveBackend({0xc0a80001, 80}).code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace hyperion::apps

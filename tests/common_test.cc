@@ -1,0 +1,310 @@
+// Unit tests for src/common: Status/Result, U128, byte utilities, RNG.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "src/common/bytes.h"
+#include "src/common/result.h"
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/common/u128.h"
+
+namespace hyperion {
+namespace {
+
+// -- Status -------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = NotFound("segment 42");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+  EXPECT_EQ(st.message(), "segment 42");
+  EXPECT_EQ(st.ToString(), "NOT_FOUND: segment 42");
+}
+
+TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
+  std::set<StatusCode> codes;
+  for (const Status& st :
+       {InvalidArgument(""), NotFound(""), AlreadyExists(""), OutOfRange(""),
+        PermissionDenied(""), Unavailable(""), DataLoss(""), Internal(""), Unimplemented(""),
+        Aborted(""), DeadlineExceeded(""), ResourceExhausted("")}) {
+    codes.insert(st.code());
+  }
+  EXPECT_EQ(codes.size(), 12u);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(NotFound("x"), NotFound("x"));
+  EXPECT_FALSE(NotFound("x") == NotFound("y"));
+  EXPECT_FALSE(NotFound("x") == Internal("x"));
+}
+
+Status FailsThrough() {
+  RETURN_IF_ERROR(Unavailable("inner"));
+  return Internal("unreachable");
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_EQ(FailsThrough().code(), StatusCode::kUnavailable);
+}
+
+// -- Result ---------------------------------------------------------------
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) {
+    return InvalidArgument("not positive");
+  }
+  return x;
+}
+
+Result<int> Doubled(int x) {
+  ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  return v * 2;
+}
+
+TEST(ResultTest, ValuePath) {
+  Result<int> r = ParsePositive(21);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 21);
+}
+
+TEST(ResultTest, ErrorPath) {
+  Result<int> r = ParsePositive(-1);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Doubled(4), 8);
+  EXPECT_FALSE(Doubled(0).ok());
+}
+
+TEST(ResultTest, ValueOr) {
+  EXPECT_EQ(ParsePositive(5).value_or(-1), 5);
+  EXPECT_EQ(ParsePositive(0).value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOnlyTypes) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> p = std::move(r).value();
+  EXPECT_EQ(*p, 7);
+}
+
+// -- U128 -------------------------------------------------------------------
+
+TEST(U128Test, OrderingUsesHighWordFirst) {
+  EXPECT_LT(U128(0, 5), U128(1, 0));
+  EXPECT_LT(U128(1, 1), U128(1, 2));
+  EXPECT_EQ(U128(3, 4), U128(3, 4));
+}
+
+TEST(U128Test, AdditionCarries) {
+  U128 v(0, ~0ull);
+  U128 w = v + 1;
+  EXPECT_EQ(w.hi, 1u);
+  EXPECT_EQ(w.lo, 0u);
+}
+
+TEST(U128Test, SubtractionBorrows) {
+  U128 v(1, 0);
+  U128 w = v - 1;
+  EXPECT_EQ(w.hi, 0u);
+  EXPECT_EQ(w.lo, ~0ull);
+}
+
+TEST(U128Test, HexRoundTrip) {
+  U128 v(0x0123456789abcdefull, 0xfedcba9876543210ull);
+  EXPECT_EQ(v.ToHex(), "0123456789abcdeffedcba9876543210");
+  U128 parsed;
+  ASSERT_TRUE(U128::FromHex(v.ToHex(), &parsed));
+  EXPECT_EQ(parsed, v);
+}
+
+TEST(U128Test, FromHexShortStringIsRightAligned) {
+  U128 parsed;
+  ASSERT_TRUE(U128::FromHex("ff", &parsed));
+  EXPECT_EQ(parsed, U128(0, 0xff));
+}
+
+TEST(U128Test, FromHexRejectsGarbage) {
+  U128 parsed;
+  EXPECT_FALSE(U128::FromHex("xyz", &parsed));
+  EXPECT_FALSE(U128::FromHex("", &parsed));
+  EXPECT_FALSE(U128::FromHex(std::string(33, 'a'), &parsed));
+}
+
+TEST(U128Test, HashSpreadsValues) {
+  std::unordered_set<U128> set;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    set.insert(U128(i, i * 3));
+  }
+  EXPECT_EQ(set.size(), 1000u);
+}
+
+// -- Bytes --------------------------------------------------------------
+
+TEST(BytesTest, FixedWidthRoundTrip) {
+  Bytes buf;
+  PutU16(buf, 0xbeef);
+  PutU32(buf, 0xdeadbeef);
+  PutU64(buf, 0x0123456789abcdefull);
+  EXPECT_EQ(GetU16(buf, 0), 0xbeef);
+  EXPECT_EQ(GetU32(buf, 2), 0xdeadbeefu);
+  EXPECT_EQ(GetU64(buf, 6), 0x0123456789abcdefull);
+}
+
+TEST(BytesTest, LittleEndianLayout) {
+  Bytes buf;
+  PutU32(buf, 0x04030201);
+  ASSERT_EQ(buf.size(), 4u);
+  EXPECT_EQ(buf[0], 1);
+  EXPECT_EQ(buf[3], 4);
+}
+
+TEST(BytesTest, StringRoundTrip) {
+  Bytes buf;
+  PutString(buf, "hyperion");
+  ByteReader reader{ByteSpan(buf.data(), buf.size())};
+  EXPECT_EQ(reader.ReadString(), "hyperion");
+  EXPECT_TRUE(reader.Ok());
+  EXPECT_EQ(reader.remaining(), 0u);
+}
+
+TEST(BytesTest, ReaderDetectsTruncation) {
+  Bytes buf;
+  PutU32(buf, 100);  // declares 100 bytes that are absent
+  ByteReader reader{ByteSpan(buf.data(), buf.size())};
+  std::string s = reader.ReadString();
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(reader.Ok());
+}
+
+TEST(BytesTest, ReaderOverrunIsSticky) {
+  Bytes buf = {1, 2};
+  ByteReader reader{ByteSpan(buf.data(), buf.size())};
+  reader.ReadU64();
+  EXPECT_FALSE(reader.Ok());
+  EXPECT_EQ(reader.ReadU8(), 0);  // still failed
+}
+
+TEST(BytesTest, Crc32cKnownVector) {
+  // RFC 3720 test vector: 32 bytes of zeros -> 0x8a9136aa.
+  Bytes zeros(32, 0);
+  EXPECT_EQ(Crc32c(ByteSpan(zeros.data(), zeros.size())), 0x8a9136aau);
+}
+
+TEST(BytesTest, Crc32cDetectsBitFlip) {
+  Bytes data = ToBytes("the quick brown fox");
+  const uint32_t before = Crc32c(ByteSpan(data.data(), data.size()));
+  data[3] ^= 0x01;
+  EXPECT_NE(before, Crc32c(ByteSpan(data.data(), data.size())));
+}
+
+TEST(BytesTest, HexFormatting) {
+  Bytes data = {0xde, 0xad, 0xbe, 0xef};
+  EXPECT_EQ(ToHex(ByteSpan(data.data(), data.size())), "deadbeef");
+}
+
+TEST(BytesTest, FnvDiffersAcrossInputs) {
+  Bytes a = ToBytes("a");
+  Bytes b = ToBytes("b");
+  EXPECT_NE(Fnv1a64(ByteSpan(a.data(), a.size())), Fnv1a64(ByteSpan(b.data(), b.size())));
+}
+
+// -- Rng -------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, UniformStaysInBound) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(4);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t v = rng.UniformRange(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    saw_lo |= v == 5;
+    saw_hi |= v == 8;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, ZipfIsSkewed) {
+  Rng rng(6);
+  uint64_t zero_hits = 0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (rng.Zipf(1000, 0.99) == 0) {
+      ++zero_hits;
+    }
+  }
+  // With theta=0.99 the hottest key draws a large share (far above uniform
+  // 1/1000 = 20 hits).
+  EXPECT_GT(zero_hits, kDraws / 20);
+}
+
+TEST(RngTest, ZipfStaysInRange) {
+  Rng rng(8);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Zipf(50, 0.9), 50u);
+  }
+}
+
+TEST(RngTest, ExponentialMeanApproximatelyCorrect) {
+  Rng rng(9);
+  double sum = 0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    sum += rng.Exponential(100.0);
+  }
+  const double mean = sum / kDraws;
+  EXPECT_GT(mean, 90.0);
+  EXPECT_LT(mean, 110.0);
+}
+
+}  // namespace
+}  // namespace hyperion

@@ -1,0 +1,426 @@
+// Tests for the Hyperion DPU: boot, control-path authorization, accelerator
+// deployment (verify -> compile -> place), the RPC services, and the two
+// remote pointer-chasing modes.
+
+#include <gtest/gtest.h>
+
+#include "src/dpu/hyperion.h"
+#include "src/dpu/remote_tree.h"
+#include "src/dpu/rpc.h"
+#include "src/dpu/services.h"
+#include "src/ebpf/assembler.h"
+
+namespace hyperion::dpu {
+namespace {
+
+class DpuTest : public ::testing::Test {
+ protected:
+  DpuTest() : fabric_(&engine_), dpu_(&engine_, &fabric_) {
+    client_host_ = fabric_.AddHost("client");
+  }
+
+  void BootAndInstall(storage::KvBackend backend = storage::KvBackend::kBTree) {
+    ASSERT_TRUE(dpu_.Boot().ok());
+    auto services = HyperionServices::Install(&dpu_, backend);
+    ASSERT_TRUE(services.ok());
+    services_ = std::move(*services);
+    transport_ = net::MakeTransport(net::TransportKind::kRdma, &fabric_, &rng_);
+    rpc_client_ = std::make_unique<RpcClient>(transport_.get(), client_host_,
+                                              dpu_.host_id(), &dpu_.rpc());
+  }
+
+  RpcResponse Call(ServiceId service, uint16_t opcode, Bytes payload) {
+    RpcRequest request{service, opcode, std::move(payload)};
+    auto response = rpc_client_->Call(request);
+    EXPECT_TRUE(response.ok());
+    return response.ok() ? *response : RpcResponse::Fail(response.status());
+  }
+
+  sim::Engine engine_;
+  net::Fabric fabric_;
+  Hyperion dpu_;
+  net::HostId client_host_ = 0;
+  Rng rng_{7};
+  std::unique_ptr<HyperionServices> services_;
+  std::unique_ptr<net::Transport> transport_;
+  std::unique_ptr<RpcClient> rpc_client_;
+};
+
+TEST_F(DpuTest, BootTakesSecondsAndIsIdempotent) {
+  auto boot = dpu_.Boot();
+  ASSERT_TRUE(boot.ok());
+  EXPECT_GT(*boot, 1 * sim::kSecond);  // JTAG self-test + shell image
+  EXPECT_LT(*boot, 10 * sim::kSecond);
+  EXPECT_TRUE(dpu_.booted());
+  EXPECT_EQ(*dpu_.Boot(), 0u);
+}
+
+TEST_F(DpuTest, ControlPathRejectsBadToken) {
+  ASSERT_TRUE(dpu_.Boot().ok());
+  fpga::Bitstream bs;
+  bs.name = "mystery";
+  EXPECT_EQ(dpu_.LoadBitstream("wrong-token", bs).status().code(),
+            StatusCode::kPermissionDenied);
+  auto prog = ebpf::Assemble("mov r0, 0\nexit\n");
+  ASSERT_TRUE(prog.ok());
+  EXPECT_EQ(dpu_.DeployAccelerator("wrong-token", *prog, 1).status().code(),
+            StatusCode::kPermissionDenied);
+}
+
+TEST_F(DpuTest, ControlPathRequiresBoot) {
+  fpga::Bitstream bs;
+  EXPECT_EQ(dpu_.LoadBitstream(dpu_.config().control_token, bs).status().code(),
+            StatusCode::kUnavailable);
+}
+
+TEST_F(DpuTest, DeployRejectsUnsafePrograms) {
+  ASSERT_TRUE(dpu_.Boot().ok());
+  // Out-of-bounds context access: must never reach the fabric.
+  auto bad = ebpf::Assemble("ldxdw r0, [r1+4000]\nexit\n", "oob", 1514);
+  ASSERT_TRUE(bad.ok());
+  const auto before = dpu_.fabric().counters().Get("reconfigurations");
+  EXPECT_EQ(dpu_.DeployAccelerator(dpu_.config().control_token, *bad, 1).status().code(),
+            StatusCode::kPermissionDenied);
+  EXPECT_EQ(dpu_.fabric().counters().Get("reconfigurations"), before);
+}
+
+TEST_F(DpuTest, DeployAndProcessPacket) {
+  ASSERT_TRUE(dpu_.Boot().ok());
+  auto prog = ebpf::Assemble(R"(
+      ldxb r3, [r1+0]
+      mov r0, 0
+      jne r3, 7, done
+      mov r0, 1
+  done:
+      exit
+  )", "classify", 64);
+  ASSERT_TRUE(prog.ok());
+  auto accel = dpu_.DeployAccelerator(dpu_.config().control_token, *prog, 1);
+  ASSERT_TRUE(accel.ok());
+
+  Bytes match(64, 0);
+  match[0] = 7;
+  Bytes miss(64, 0);
+  const auto t0 = engine_.Now();
+  EXPECT_EQ(*dpu_.ProcessPacket(*accel, MutableByteSpan(match)), 1u);
+  EXPECT_GT(engine_.Now(), t0);  // fabric cycles were charged
+  EXPECT_EQ(*dpu_.ProcessPacket(*accel, MutableByteSpan(miss)), 0u);
+
+  auto info = dpu_.DescribeAccelerator(*accel);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->packets_processed, 2u);
+}
+
+TEST_F(DpuTest, RpcSerializationRoundTrip) {
+  RpcRequest request{ServiceId::kKv, KvOp::kGet, ToBytes("payload")};
+  auto parsed = ParseRequest(ByteSpan(SerializeRequest(request).data(),
+                                      SerializeRequest(request).size()));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->service, ServiceId::kKv);
+  EXPECT_EQ(parsed->opcode, KvOp::kGet);
+  EXPECT_EQ(ToString(ByteSpan(parsed->payload.data(), parsed->payload.size())), "payload");
+
+  RpcResponse fail = RpcResponse::Fail(NotFound("missing key"));
+  auto decoded = ParseResponse(ByteSpan(SerializeResponse(fail).data(),
+                                        SerializeResponse(fail).size()));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(decoded->status.message(), "missing key");
+}
+
+TEST_F(DpuTest, KvServiceOverRpc) {
+  BootAndInstall();
+  Bytes put;
+  PutU64(put, 42);
+  Bytes value = ToBytes("hello-dpu");
+  PutU32(put, static_cast<uint32_t>(value.size()));
+  PutBytes(put, ByteSpan(value.data(), value.size()));
+  EXPECT_TRUE(Call(ServiceId::kKv, KvOp::kPut, put).status.ok());
+
+  Bytes get;
+  PutU64(get, 42);
+  RpcResponse got = Call(ServiceId::kKv, KvOp::kGet, get);
+  ASSERT_TRUE(got.status.ok());
+  EXPECT_EQ(got.payload, value);
+
+  Bytes missing;
+  PutU64(missing, 999);
+  EXPECT_EQ(Call(ServiceId::kKv, KvOp::kGet, missing).status.code(), StatusCode::kNotFound);
+
+  EXPECT_TRUE(Call(ServiceId::kKv, KvOp::kDelete, get).status.ok());
+  EXPECT_EQ(Call(ServiceId::kKv, KvOp::kGet, get).status.code(), StatusCode::kNotFound);
+}
+
+TEST_F(DpuTest, KvScanOverRpc) {
+  BootAndInstall();
+  for (uint64_t k = 10; k < 20; ++k) {
+    Bytes put;
+    PutU64(put, k);
+    Bytes value;
+    PutU64(value, k * 2);
+    PutU32(put, static_cast<uint32_t>(value.size()));
+    PutBytes(put, ByteSpan(value.data(), value.size()));
+    ASSERT_TRUE(Call(ServiceId::kKv, KvOp::kPut, put).status.ok());
+  }
+  Bytes scan;
+  PutU64(scan, 12);
+  PutU64(scan, 15);
+  RpcResponse rows = Call(ServiceId::kKv, KvOp::kScan, scan);
+  ASSERT_TRUE(rows.status.ok());
+  EXPECT_EQ(GetU32(rows.payload, 0), 4u);  // keys 12..15
+}
+
+TEST_F(DpuTest, LogServiceOverRpc) {
+  BootAndInstall();
+  Bytes entry = ToBytes("log-entry-0");
+  RpcResponse appended = Call(ServiceId::kLog, LogOp::kAppend, entry);
+  ASSERT_TRUE(appended.status.ok());
+  const uint64_t position = GetU64(appended.payload, 0);
+  EXPECT_EQ(position, 0u);
+
+  Bytes read;
+  PutU64(read, position);
+  RpcResponse got = Call(ServiceId::kLog, LogOp::kRead, read);
+  ASSERT_TRUE(got.status.ok());
+  EXPECT_EQ(got.payload, entry);
+
+  RpcResponse tail = Call(ServiceId::kLog, LogOp::kTail, {});
+  ASSERT_TRUE(tail.status.ok());
+  EXPECT_EQ(GetU64(tail.payload, 0), 1u);
+}
+
+TEST_F(DpuTest, ControlDeployOverRpc) {
+  BootAndInstall();
+  auto prog = ebpf::Assemble("mov r0, 99\nexit\n", "remote", 64);
+  ASSERT_TRUE(prog.ok());
+  Bytes payload;
+  PutString(payload, std::string(dpu_.config().control_token));
+  PutU32(payload, /*tenant=*/3);
+  Bytes program_bytes = ebpf::SerializeProgram(*prog);
+  PutBytes(payload, ByteSpan(program_bytes.data(), program_bytes.size()));
+  RpcResponse deployed = Call(ServiceId::kControl, ControlOp::kDeploy, payload);
+  ASSERT_TRUE(deployed.status.ok());
+  const auto accel = static_cast<AcceleratorId>(GetU32(deployed.payload, 0));
+  Bytes packet(64, 0);
+  EXPECT_EQ(*dpu_.ProcessPacket(accel, MutableByteSpan(packet)), 99u);
+}
+
+TEST_F(DpuTest, ControlDeployWithBadTokenFailsOverRpc) {
+  BootAndInstall();
+  auto prog = ebpf::Assemble("mov r0, 0\nexit\n");
+  ASSERT_TRUE(prog.ok());
+  Bytes payload;
+  PutString(payload, "not-the-token");
+  PutU32(payload, 1);
+  Bytes program_bytes = ebpf::SerializeProgram(*prog);
+  PutBytes(payload, ByteSpan(program_bytes.data(), program_bytes.size()));
+  EXPECT_EQ(Call(ServiceId::kControl, ControlOp::kDeploy, payload).status.code(),
+            StatusCode::kPermissionDenied);
+}
+
+// -- Pointer chasing -----------------------------------------------------
+
+TEST_F(DpuTest, OffloadedLookupBeatsClientDriven) {
+  BootAndInstall();
+  // Populate the tree service with enough keys for height >= 3.
+  for (uint64_t k = 0; k < 3000; ++k) {
+    Bytes v;
+    PutU64(v, k + 1);
+    ASSERT_TRUE(services_->tree().Insert(k, ByteSpan(v.data(), v.size())).ok());
+  }
+  ASSERT_GE(services_->tree().Height(), 3u);
+
+  RemoteTreeClient remote(rpc_client_.get());
+
+  const auto t0 = engine_.Now();
+  auto offloaded = remote.OffloadedGet(1234);
+  const auto offloaded_latency = engine_.Now() - t0;
+  ASSERT_TRUE(offloaded.ok());
+  EXPECT_EQ(remote.rpcs_issued(), 1u);
+
+  remote.ResetStats();
+  const auto t1 = engine_.Now();
+  auto client_driven = remote.ClientDrivenGet(1234);
+  const auto client_latency = engine_.Now() - t1;
+  ASSERT_TRUE(client_driven.ok());
+  EXPECT_EQ(*offloaded, *client_driven);
+  // info + height node fetches.
+  EXPECT_EQ(remote.rpcs_issued(), 1u + services_->tree().Height());
+  EXPECT_GT(client_latency, offloaded_latency);
+}
+
+TEST_F(DpuTest, ClientDrivenMissesGracefully) {
+  BootAndInstall();
+  Bytes v = {1};
+  ASSERT_TRUE(services_->tree().Insert(1, ByteSpan(v.data(), 1)).ok());
+  RemoteTreeClient remote(rpc_client_.get());
+  EXPECT_EQ(remote.ClientDrivenGet(999).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(remote.OffloadedGet(999).status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(DpuTest, EnergyEnvelopeMatchesPaperRatio) {
+  // The DPU's peak power divided into the server's: the paper's 4-8x claim.
+  const double ratio = sim::MakeServerEnergyModel().PeakWatts() / dpu_.energy().PeakWatts();
+  EXPECT_GE(ratio, 4.0);
+  EXPECT_LE(ratio, 8.0);
+}
+
+}  // namespace
+}  // namespace hyperion::dpu
+
+namespace control_path_extras {
+
+using namespace hyperion;  // NOLINT
+using namespace hyperion::dpu;  // NOLINT
+
+class ControlTest : public ::testing::Test {
+ protected:
+  ControlTest() : fabric_(&engine_), dpu_(&engine_, &fabric_) { CHECK_OK(dpu_.Boot()); }
+
+  ebpf::Program Trivial(const std::string& name) {
+    auto prog = ebpf::Assemble("mov r0, 1\nexit\n", name, 64);
+    CHECK_OK(prog.status());
+    return *prog;
+  }
+
+  sim::Engine engine_;
+  net::Fabric fabric_;
+  Hyperion dpu_;
+};
+
+TEST_F(ControlTest, UndeployFreesTheSlotForEviction) {
+  // Fill every region (default fabric has 5) with pinned accelerators.
+  std::vector<AcceleratorId> accels;
+  for (int i = 0; i < 5; ++i) {
+    auto accel =
+        dpu_.DeployAccelerator(dpu_.config().control_token, Trivial("t" + std::to_string(i)), 1);
+    ASSERT_TRUE(accel.ok()) << i;
+    accels.push_back(*accel);
+  }
+  // Sixth deployment: everything pinned.
+  EXPECT_EQ(dpu_.DeployAccelerator(dpu_.config().control_token, Trivial("overflow"), 1)
+                .status()
+                .code(),
+            StatusCode::kResourceExhausted);
+  // Undeploy one; the slot becomes evictable and deployment succeeds.
+  ASSERT_TRUE(dpu_.UndeployAccelerator(dpu_.config().control_token, accels[2]).ok());
+  auto replacement = dpu_.DeployAccelerator(dpu_.config().control_token, Trivial("fresh"), 2);
+  ASSERT_TRUE(replacement.ok());
+  // The retired accelerator no longer processes packets.
+  Bytes packet(64, 0);
+  EXPECT_EQ(dpu_.ProcessPacket(accels[2], MutableByteSpan(packet)).status().code(),
+            StatusCode::kInvalidArgument);
+  // Double undeploy rejected; bad token rejected.
+  EXPECT_FALSE(dpu_.UndeployAccelerator(dpu_.config().control_token, accels[2]).ok());
+  EXPECT_EQ(dpu_.UndeployAccelerator("bad", accels[0]).code(), StatusCode::kPermissionDenied);
+}
+
+TEST_F(ControlTest, CreateMapOverControlPathAndUseIt) {
+  auto map_id = dpu_.CreateMap(dpu_.config().control_token,
+                               {ebpf::MapType::kArray, 4, 8, 4, "stats", /*tenant=*/7});
+  ASSERT_TRUE(map_id.ok());
+  EXPECT_EQ(dpu_.CreateMap("bad", {}).status().code(), StatusCode::kPermissionDenied);
+
+  const std::string source = R"(
+      stw [r10-4], 1
+      ld_map_fd r1, )" + std::to_string(*map_id) + R"(
+      mov r2, r10
+      add r2, -4
+      call map_lookup
+      jeq r0, 0, out
+      mov r4, 1
+      xadddw [r0+0], r4
+  out:
+      mov r0, 0
+      exit
+  )";
+  auto prog = ebpf::Assemble(source, "counter", 64);
+  ASSERT_TRUE(prog.ok());
+  // Owner deploys; stranger does not.
+  ASSERT_TRUE(dpu_.DeployAccelerator(dpu_.config().control_token, *prog, 7).ok());
+  EXPECT_EQ(dpu_.DeployAccelerator(dpu_.config().control_token, *prog, 8).status().code(),
+            StatusCode::kPermissionDenied);
+}
+
+TEST_F(ControlTest, RawBitstreamLoadOverRpc) {
+  auto services = HyperionServices::Install(&dpu_);
+  ASSERT_TRUE(services.ok());
+  const net::HostId client = fabric_.AddHost("client");
+  Rng rng(4);
+  auto transport = net::MakeTransport(net::TransportKind::kRdma, &fabric_, &rng);
+  RpcClient rpc(transport.get(), client, dpu_.host_id(), &dpu_.rpc());
+
+  Bytes payload;
+  PutString(payload, std::string(dpu_.config().control_token));
+  PutU32(payload, /*tenant=*/3);
+  PutString(payload, "hand_synthesized_kv");
+  PutU64(payload, 6ull << 20);  // 6 MiB partial bitstream
+  PutU32(payload, 2);           // slices
+  PutU32(payload, 3200);        // 320.0 MHz
+  const sim::SimTime t0 = engine_.Now();
+  auto loaded = rpc.Call({ServiceId::kControl, ControlOp::kLoadBitstream, std::move(payload)});
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_TRUE(loaded->status.ok());
+  const auto region = GetU32(loaded->payload, 0);
+  // The reconfiguration really happened (10-100 ms of virtual time).
+  EXPECT_GT(engine_.Now() - t0, 10 * sim::kMillisecond);
+  auto resident = dpu_.fabric().LoadedBitstream(region);
+  ASSERT_TRUE(resident.ok());
+  EXPECT_EQ(resident->name, "hand_synthesized_kv");
+  EXPECT_DOUBLE_EQ(resident->fmax_mhz, 320.0);
+}
+
+}  // namespace control_path_extras
+
+namespace composition_checks {
+
+using namespace hyperion;  // NOLINT
+using namespace hyperion::dpu;  // NOLINT
+
+TEST(CompositionTest, BusAddressMapRoutesTiersAndDevices) {
+  sim::Engine engine;
+  net::Fabric fabric(&engine);
+  Hyperion dpu(&engine, &fabric);
+  // The static Figure-2 address split: low = DRAM, 0x1000... = HBM,
+  // 0x2000... = NVMe BARs (one window per device).
+  EXPECT_EQ(*dpu.axi().Route(0x0000'0000'1000ull), fpga::Port::kDram);
+  EXPECT_EQ(*dpu.axi().Route(0x1000'0000'0010ull), fpga::Port::kHbm);
+  EXPECT_EQ(*dpu.axi().Route(0x2000'0000'0000ull), fpga::Port::kNvme0);
+  EXPECT_EQ(*dpu.axi().Route(0x2100'0000'0000ull), fpga::Port::kNvme1);
+  EXPECT_EQ(*dpu.axi().Route(0x2300'0000'0000ull), fpga::Port::kNvme3);
+  // Holes are unmapped.
+  EXPECT_FALSE(dpu.axi().Route(0x0F00'0000'0000ull).ok());
+}
+
+TEST(CompositionTest, PacketProcessingChargesFabricEnergy) {
+  sim::Engine engine;
+  net::Fabric fabric(&engine);
+  Hyperion dpu(&engine, &fabric);
+  CHECK_OK(dpu.Boot());
+  auto prog = ebpf::Assemble("mov r0, 1\nexit\n", "tiny", 64);
+  ASSERT_TRUE(prog.ok());
+  auto accel = dpu.DeployAccelerator(dpu.config().control_token, *prog, 1);
+  ASSERT_TRUE(accel.ok());
+  const double idle_joules = dpu.energy().TotalJoules(engine.Now());
+  Bytes packet(64, 0);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(dpu.ProcessPacket(*accel, MutableByteSpan(packet)).ok());
+  }
+  // Active fabric draw accrued on top of the idle floor.
+  EXPECT_GT(dpu.energy().TotalJoules(engine.Now()), idle_joules);
+}
+
+TEST(CompositionTest, FourNamespacesBehindBifurcatedLinks) {
+  sim::Engine engine;
+  net::Fabric fabric(&engine);
+  Hyperion dpu(&engine, &fabric);
+  EXPECT_EQ(dpu.nvme().NamespaceCount(), 4u);
+  // FPGA root complex + 4 NVMe endpoints, x4 each (Figure 1's bifurcation).
+  EXPECT_EQ(dpu.pcie_topology().NodeCount(), 5u);
+  for (pcie::NodeId d = 1; d <= 4; ++d) {
+    EXPECT_EQ(dpu.pcie_topology().node(d).uplink.lanes, 4);
+    EXPECT_EQ(*dpu.pcie_topology().PathHops(0, d), 1u);
+  }
+}
+
+}  // namespace composition_checks

@@ -1,0 +1,220 @@
+// Tests for the columnar formats: Arrow-style batches, Parquet-style files
+// (encodings, zone maps, projection pushdown), and the scan kernels.
+
+#include <gtest/gtest.h>
+
+#include "src/format/arrow.h"
+#include "src/format/parquet.h"
+#include "src/format/scan.h"
+
+namespace hyperion::format {
+namespace {
+
+RecordBatch SampleBatch(int64_t rows) {
+  std::vector<int64_t> ids;
+  std::vector<double> prices;
+  std::vector<std::string> regions;
+  const std::string region_names[] = {"emea", "apac", "amer"};
+  for (int64_t r = 0; r < rows; ++r) {
+    ids.push_back(r);
+    prices.push_back(static_cast<double>(r) * 1.5);
+    regions.push_back(region_names[r % 3]);
+  }
+  return RecordBatch(
+      Schema{{"id", ColumnType::kInt64}, {"price", ColumnType::kFloat64},
+             {"region", ColumnType::kString}},
+      {std::move(ids), std::move(prices), std::move(regions)});
+}
+
+// -- RecordBatch ------------------------------------------------------------
+
+TEST(RecordBatchTest, MakeValidates) {
+  EXPECT_FALSE(RecordBatch::Make(Schema{{"a", ColumnType::kInt64}}, {}).ok());
+  EXPECT_FALSE(RecordBatch::Make(Schema{{"a", ColumnType::kInt64}},
+                                 {std::vector<double>{1.0}})
+                   .ok());
+  EXPECT_FALSE(RecordBatch::Make(
+                   Schema{{"a", ColumnType::kInt64}, {"b", ColumnType::kInt64}},
+                   {std::vector<int64_t>{1}, std::vector<int64_t>{1, 2}})
+                   .ok());
+  EXPECT_TRUE(RecordBatch::Make(Schema{{"a", ColumnType::kInt64}},
+                                {std::vector<int64_t>{1, 2, 3}})
+                  .ok());
+}
+
+TEST(RecordBatchTest, TakeSelectsRows) {
+  RecordBatch batch = SampleBatch(10);
+  RecordBatch taken = batch.Take({1, 3, 5});
+  EXPECT_EQ(taken.rows(), 3u);
+  EXPECT_EQ(taken.Int64Column(0)[1], 3);
+  EXPECT_EQ(taken.StringColumn(2)[2], "amer");  // row 5 -> 5 % 3 == 2
+}
+
+TEST(RecordBatchTest, ColumnIndexByName) {
+  RecordBatch batch = SampleBatch(3);
+  EXPECT_EQ(*batch.ColumnIndex("price"), 1u);
+  EXPECT_FALSE(batch.ColumnIndex("absent").ok());
+}
+
+// -- Parquet ------------------------------------------------------------------
+
+TEST(ParquetTest, RoundTripAllTypes) {
+  RecordBatch batch = SampleBatch(1000);
+  auto file = WriteParquet(batch, {.rows_per_group = 256});
+  ASSERT_TRUE(file.ok());
+  auto reader = ParquetReader::OpenBuffer(*file);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader->TotalRows(), 1000u);
+  EXPECT_EQ(reader->RowGroupCount(), 4u);  // 256*3 + 232
+  uint64_t rows_seen = 0;
+  for (size_t g = 0; g < reader->RowGroupCount(); ++g) {
+    auto group = reader->ReadRowGroup(g);
+    ASSERT_TRUE(group.ok());
+    for (uint64_t r = 0; r < group->rows(); ++r) {
+      const int64_t id = group->Int64Column(0)[r];
+      EXPECT_EQ(group->Float64Column(1)[r], static_cast<double>(id) * 1.5);
+      EXPECT_EQ(group->StringColumn(2)[r], SampleBatch(1).StringColumn(2)[0].empty()
+                                               ? ""
+                                               : (id % 3 == 0   ? "emea"
+                                                  : id % 3 == 1 ? "apac"
+                                                                : "amer"));
+      ++rows_seen;
+    }
+  }
+  EXPECT_EQ(rows_seen, 1000u);
+}
+
+TEST(ParquetTest, RlePicksConstantColumns) {
+  std::vector<int64_t> constant(5000, 42);
+  RecordBatch batch(Schema{{"c", ColumnType::kInt64}}, {std::move(constant)});
+  auto file = WriteParquet(batch);
+  ASSERT_TRUE(file.ok());
+  // RLE collapses 5000*8 bytes to a handful of runs: file is tiny.
+  EXPECT_LT(file->size(), 2000u);
+  auto reader = ParquetReader::OpenBuffer(*file);
+  ASSERT_TRUE(reader.ok());
+  auto group = reader->ReadRowGroup(0);
+  ASSERT_TRUE(group.ok());
+  EXPECT_EQ(group->Int64Column(0)[4095], 42);
+}
+
+TEST(ParquetTest, DictionaryCompressesLowCardinalityStrings) {
+  std::vector<std::string> repeated;
+  for (int i = 0; i < 4000; ++i) {
+    repeated.push_back(i % 2 == 0 ? "warehouse-east-1" : "warehouse-west-2");
+  }
+  RecordBatch batch(Schema{{"w", ColumnType::kString}}, {std::move(repeated)});
+  auto file = WriteParquet(batch);
+  ASSERT_TRUE(file.ok());
+  // Plain would be > 4000*20 bytes; dictionary is ~4 bytes/row.
+  EXPECT_LT(file->size(), 4000 * 8);
+  auto reader = ParquetReader::OpenBuffer(*file);
+  ASSERT_TRUE(reader.ok());
+  auto group = reader->ReadRowGroup(0);
+  ASSERT_TRUE(group.ok());
+  EXPECT_EQ(group->StringColumn(0)[1], "warehouse-west-2");
+}
+
+TEST(ParquetTest, ProjectionPushdownFetchesFewerBytes) {
+  RecordBatch batch = SampleBatch(10000);
+  auto file = WriteParquet(batch, {.rows_per_group = 2048});
+  ASSERT_TRUE(file.ok());
+  auto full = ParquetReader::OpenBuffer(*file);
+  ASSERT_TRUE(full.ok());
+  for (size_t g = 0; g < full->RowGroupCount(); ++g) {
+    ASSERT_TRUE(full->ReadRowGroup(g).ok());
+  }
+  auto projected = ParquetReader::OpenBuffer(*file);
+  ASSERT_TRUE(projected.ok());
+  for (size_t g = 0; g < projected->RowGroupCount(); ++g) {
+    ASSERT_TRUE(projected->ReadRowGroup(g, {"id"}).ok());
+  }
+  EXPECT_LT(projected->bytes_fetched(), full->bytes_fetched() / 2);
+}
+
+TEST(ParquetTest, ZoneMapsSkipRowGroups) {
+  RecordBatch batch = SampleBatch(10000);  // ids 0..9999, sorted
+  auto file = WriteParquet(batch, {.rows_per_group = 1000});
+  ASSERT_TRUE(file.ok());
+  auto reader = ParquetReader::OpenBuffer(*file);
+  ASSERT_TRUE(reader.ok());
+  auto rows = reader->ScanInt64Filter("id", 5100, 5200, {"id", "price"});
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->rows(), 101u);
+  // 10 groups, only the one holding [5000,6000) touched.
+  EXPECT_EQ(reader->groups_skipped(), 9u);
+}
+
+TEST(ParquetTest, EmptyFilterResultKeepsSchema) {
+  RecordBatch batch = SampleBatch(100);
+  auto file = WriteParquet(batch);
+  ASSERT_TRUE(file.ok());
+  auto reader = ParquetReader::OpenBuffer(*file);
+  ASSERT_TRUE(reader.ok());
+  auto rows = reader->ScanInt64Filter("id", 100000, 200000, {"price"});
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->rows(), 0u);
+  EXPECT_TRUE(rows->ColumnIndex("price").ok());
+}
+
+TEST(ParquetTest, CorruptFooterDetected) {
+  RecordBatch batch = SampleBatch(100);
+  auto file = WriteParquet(batch);
+  ASSERT_TRUE(file.ok());
+  Bytes tampered = *file;
+  tampered[tampered.size() - 20] ^= 0xff;  // inside the footer
+  EXPECT_EQ(ParquetReader::OpenBuffer(tampered).status().code(), StatusCode::kDataLoss);
+}
+
+TEST(ParquetTest, NotAParquetFile) {
+  Bytes junk(100, 0xab);
+  EXPECT_FALSE(ParquetReader::OpenBuffer(junk).ok());
+}
+
+// -- Scan kernels ------------------------------------------------------------
+
+TEST(ScanTest, AggregateInt64) {
+  RecordBatch batch = SampleBatch(100);  // ids 0..99
+  auto agg = AggregateInt64(batch, "id");
+  ASSERT_TRUE(agg.ok());
+  EXPECT_EQ(agg->count, 100u);
+  EXPECT_EQ(agg->sum, 4950);
+  EXPECT_EQ(agg->min, 0);
+  EXPECT_EQ(agg->max, 99);
+}
+
+TEST(ScanTest, SumFloat64) {
+  RecordBatch batch = SampleBatch(4);  // prices 0, 1.5, 3, 4.5
+  auto sum = SumFloat64(batch, "price");
+  ASSERT_TRUE(sum.ok());
+  EXPECT_DOUBLE_EQ(*sum, 9.0);
+}
+
+TEST(ScanTest, FilterInt64) {
+  RecordBatch batch = SampleBatch(100);
+  auto filtered = FilterInt64(batch, "id", 10, 19);
+  ASSERT_TRUE(filtered.ok());
+  EXPECT_EQ(filtered->rows(), 10u);
+  EXPECT_EQ(filtered->Int64Column(0)[0], 10);
+}
+
+TEST(ScanTest, GroupedSum) {
+  RecordBatch batch = SampleBatch(6);  // regions cycle emea,apac,amer
+  auto grouped = GroupedSum(batch, "region", "id");
+  ASSERT_TRUE(grouped.ok());
+  ASSERT_EQ(grouped->size(), 3u);
+  // amer: ids 2+5=7; apac: 1+4=5; emea: 0+3=3 (sorted by name).
+  EXPECT_EQ((*grouped)[0], (std::pair<std::string, int64_t>{"amer", 7}));
+  EXPECT_EQ((*grouped)[1], (std::pair<std::string, int64_t>{"apac", 5}));
+  EXPECT_EQ((*grouped)[2], (std::pair<std::string, int64_t>{"emea", 3}));
+}
+
+TEST(ScanTest, TypeMismatchRejected) {
+  RecordBatch batch = SampleBatch(5);
+  EXPECT_FALSE(AggregateInt64(batch, "price").ok());
+  EXPECT_FALSE(SumFloat64(batch, "id").ok());
+  EXPECT_FALSE(GroupedSum(batch, "id", "region").ok());
+}
+
+}  // namespace
+}  // namespace hyperion::format

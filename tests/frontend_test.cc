@@ -1,0 +1,221 @@
+// Tests for the match-action (P4-flavoured) frontend: generated programs
+// must verify, run correctly, count hits, and pipeline well — plus a
+// differential fuzz harness proving verifier/VM agreement on random rule
+// tables.
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/ebpf/frontend.h"
+#include "src/ebpf/hdl_codegen.h"
+#include "src/ebpf/verifier.h"
+#include "src/ebpf/vm.h"
+
+namespace hyperion::ebpf {
+namespace {
+
+Bytes MakePacket(uint8_t proto, uint16_t dst_port_be) {
+  Bytes packet(64, 0);
+  packet[23] = proto;
+  packet[36] = static_cast<uint8_t>(dst_port_be >> 8);
+  packet[37] = static_cast<uint8_t>(dst_port_be & 0xff);
+  return packet;
+}
+
+TEST(FrontendTest, FirstMatchingRuleWins) {
+  MatchActionTable table;
+  table.ctx_size = 64;
+  // Rule 0: TCP/443 -> verdict 1. Rule 1: any TCP -> verdict 2.
+  table.rules.push_back(MatchActionRule{
+      {{23, 1, 6}, {36, 2, 443, ~0ull, /*big_endian=*/true}}, 1, std::nullopt});
+  table.rules.push_back(MatchActionRule{{{23, 1, 6}}, 2, std::nullopt});
+  table.default_verdict = 0;
+
+  auto prog = CompileMatchAction(table);
+  ASSERT_TRUE(prog.ok());
+  MapRegistry maps;
+  ASSERT_TRUE(Verify(*prog, maps).ok());
+  Vm vm(&maps);
+
+  Bytes https = MakePacket(6, 443);
+  Bytes ssh = MakePacket(6, 22);
+  Bytes udp = MakePacket(17, 443);
+  EXPECT_EQ(vm.Run(*prog, MutableByteSpan(https))->return_value, 1u);
+  EXPECT_EQ(vm.Run(*prog, MutableByteSpan(ssh))->return_value, 2u);
+  EXPECT_EQ(vm.Run(*prog, MutableByteSpan(udp))->return_value, 0u);
+}
+
+TEST(FrontendTest, MaskedMatches) {
+  MatchActionTable table;
+  table.ctx_size = 64;
+  // Match the /8 prefix of a 4-byte field at offset 26 (src ip 10.x.x.x,
+  // stored little-endian in this synthetic packet: low byte = first octet).
+  table.rules.push_back(MatchActionRule{{{26, 4, 0x0a, 0xff}}, 7, std::nullopt});
+  auto prog = CompileMatchAction(table);
+  ASSERT_TRUE(prog.ok());
+  MapRegistry maps;
+  ASSERT_TRUE(Verify(*prog, maps).ok());
+  Vm vm(&maps);
+  Bytes internal(64, 0);
+  internal[26] = 0x0a;
+  internal[27] = 0x12;  // ignored by the mask
+  Bytes external(64, 0);
+  external[26] = 0xc0;
+  EXPECT_EQ(vm.Run(*prog, MutableByteSpan(internal))->return_value, 7u);
+  EXPECT_EQ(vm.Run(*prog, MutableByteSpan(external))->return_value, 0u);
+}
+
+TEST(FrontendTest, CountersBumpAtomically) {
+  MapRegistry maps;
+  const uint32_t counters = maps.Create({MapType::kArray, 4, 8, 8, "hits", kSharedMap});
+  MatchActionTable table;
+  table.ctx_size = 64;
+  table.counter_map = counters;
+  table.rules.push_back(MatchActionRule{{{23, 1, 6}}, 1, /*count_index=*/2});
+  auto prog = CompileMatchAction(table);
+  ASSERT_TRUE(prog.ok());
+  ASSERT_TRUE(Verify(*prog, maps).ok());
+  Vm vm(&maps);
+  Bytes tcp = MakePacket(6, 80);
+  Bytes udp = MakePacket(17, 80);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(vm.Run(*prog, MutableByteSpan(tcp)).ok());
+  }
+  ASSERT_TRUE(vm.Run(*prog, MutableByteSpan(udp)).ok());
+  Bytes key;
+  PutU32(key, 2);
+  auto value = maps.Get(counters)->Lookup(ByteSpan(key.data(), key.size()));
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(GetU64(*value, 0), 5u);
+}
+
+TEST(FrontendTest, ValidationErrors) {
+  MatchActionTable oob;
+  oob.ctx_size = 64;
+  oob.rules.push_back(MatchActionRule{{{62, 4, 0}}, 1, std::nullopt});
+  EXPECT_FALSE(CompileMatchAction(oob).ok());
+
+  MatchActionTable bad_width;
+  bad_width.rules.push_back(MatchActionRule{{{0, 3, 0}}, 1, std::nullopt});
+  EXPECT_FALSE(CompileMatchAction(bad_width).ok());
+
+  MatchActionTable count_without_map;
+  count_without_map.rules.push_back(MatchActionRule{{{0, 1, 0}}, 1, /*count_index=*/0});
+  EXPECT_FALSE(CompileMatchAction(count_without_map).ok());
+
+  MatchActionTable be_byte;
+  be_byte.rules.push_back(
+      MatchActionRule{{{0, 1, 0, ~0ull, /*big_endian=*/true}}, 1, std::nullopt});
+  EXPECT_FALSE(CompileMatchAction(be_byte).ok());
+}
+
+TEST(FrontendTest, EmptyTableIsJustTheDefault) {
+  MatchActionTable table;
+  table.default_verdict = 42;
+  auto prog = CompileMatchAction(table);
+  ASSERT_TRUE(prog.ok());
+  MapRegistry maps;
+  ASSERT_TRUE(Verify(*prog, maps).ok());
+  Vm vm(&maps);
+  Bytes packet(64, 0);
+  EXPECT_EQ(vm.Run(*prog, MutableByteSpan(packet))->return_value, 42u);
+}
+
+TEST(FrontendTest, GeneratedProgramsPipelineWell) {
+  MatchActionTable table;
+  table.ctx_size = 64;
+  for (int r = 0; r < 8; ++r) {
+    table.rules.push_back(MatchActionRule{
+        {{static_cast<uint16_t>(r * 2), 2, static_cast<uint64_t>(r)}},
+        static_cast<uint64_t>(r + 1),
+        std::nullopt});
+  }
+  auto prog = CompileMatchAction(table);
+  ASSERT_TRUE(prog.ok());
+  auto plan = CompileToPipeline(*prog);
+  ASSERT_TRUE(plan.ok());
+  // No helpers, no stateful memory: initiation interval is the mem-port
+  // bound only.
+  EXPECT_LE(plan->InitiationInterval(), 8u);
+}
+
+// -- Differential fuzz: random tables, random packets -------------------------
+//
+// Property: every generated program passes the verifier, and the VM
+// executes it without a sandbox trap; moreover the VM verdict equals a
+// reference (C++) evaluation of the rule table.
+
+uint64_t ReferenceEvaluate(const MatchActionTable& table, ByteSpan packet) {
+  for (const MatchActionRule& rule : table.rules) {
+    bool all = true;
+    for (const FieldMatch& match : rule.matches) {
+      uint64_t v = 0;
+      for (int b = match.width - 1; b >= 0; --b) {
+        v = (v << 8) | packet[match.offset + static_cast<uint16_t>(b)];
+      }
+      if (match.big_endian) {
+        uint64_t swapped = 0;
+        for (int b = 0; b < match.width; ++b) {
+          swapped = (swapped << 8) | ((v >> (8 * b)) & 0xff);
+        }
+        v = swapped;
+      }
+      const uint64_t width_mask =
+          match.width == 8 ? ~0ull : (1ull << (match.width * 8)) - 1;
+      const uint64_t mask = match.mask & width_mask;
+      if ((v & mask) != (match.value & mask)) {
+        all = false;
+        break;
+      }
+    }
+    if (all) {
+      return rule.verdict;
+    }
+  }
+  return table.default_verdict;
+}
+
+class FrontendFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FrontendFuzz, CompiledTableMatchesReferenceSemantics) {
+  Rng rng(GetParam());
+  MatchActionTable table;
+  table.ctx_size = 64;
+  const uint64_t rule_count = rng.UniformRange(1, 6);
+  const uint8_t widths[] = {1, 2, 4, 8};
+  for (uint64_t r = 0; r < rule_count; ++r) {
+    MatchActionRule rule;
+    const uint64_t match_count = rng.UniformRange(1, 3);
+    for (uint64_t m = 0; m < match_count; ++m) {
+      FieldMatch match;
+      match.width = widths[rng.Uniform(4)];
+      match.offset = static_cast<uint16_t>(rng.Uniform(64 - match.width));
+      match.value = rng.Uniform(4);  // small values: collisions are likely
+      match.mask = rng.Bernoulli(0.3) ? 0xff : ~0ull;
+      match.big_endian = match.width > 1 && rng.Bernoulli(0.3);
+      rule.matches.push_back(match);
+    }
+    rule.verdict = r + 1;
+    table.rules.push_back(std::move(rule));
+  }
+  auto prog = CompileMatchAction(table);
+  ASSERT_TRUE(prog.ok());
+  MapRegistry maps;
+  ASSERT_TRUE(Verify(*prog, maps).ok()) << "generated program must verify";
+  Vm vm(&maps);
+  for (int trial = 0; trial < 50; ++trial) {
+    Bytes packet(64);
+    for (auto& byte : packet) {
+      byte = static_cast<uint8_t>(rng.Uniform(4));  // small alphabet
+    }
+    auto run = vm.Run(*prog, MutableByteSpan(packet));
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    EXPECT_EQ(run->return_value, ReferenceEvaluate(table, ByteSpan(packet.data(), 64)))
+        << "seed " << GetParam() << " trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FrontendFuzz, ::testing::Range<uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace hyperion::ebpf

@@ -1,0 +1,362 @@
+// Unit tests for the NVMe substrate: flash media, queue pairs, controller
+// command execution, and the latency model's channel parallelism.
+
+#include <gtest/gtest.h>
+
+#include "src/nvme/controller.h"
+#include "src/nvme/flash.h"
+#include "src/nvme/queue.h"
+#include "src/nvme/zns.h"
+#include "src/sim/engine.h"
+
+namespace hyperion::nvme {
+namespace {
+
+Bytes Pattern(size_t n, uint8_t seed) {
+  Bytes b(n);
+  for (size_t i = 0; i < n; ++i) {
+    b[i] = static_cast<uint8_t>(seed + i);
+  }
+  return b;
+}
+
+// -- FlashDevice -----------------------------------------------------------
+
+TEST(FlashTest, UnwrittenBlocksReadZero) {
+  FlashDevice dev(16);
+  Bytes out(kLbaSize, 0xff);
+  ASSERT_TRUE(dev.ReadBlock(3, MutableByteSpan(out)).ok());
+  for (uint8_t b : out) {
+    EXPECT_EQ(b, 0);
+  }
+}
+
+TEST(FlashTest, WriteReadRoundTrip) {
+  FlashDevice dev(16);
+  Bytes data = Pattern(kLbaSize, 7);
+  ASSERT_TRUE(dev.WriteBlock(5, ByteSpan(data.data(), data.size())).ok());
+  Bytes out(kLbaSize);
+  ASSERT_TRUE(dev.ReadBlock(5, MutableByteSpan(out)).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST(FlashTest, OutOfRangeRejected) {
+  FlashDevice dev(4);
+  Bytes buf(kLbaSize);
+  EXPECT_FALSE(dev.ReadBlock(4, MutableByteSpan(buf)).ok());
+  EXPECT_FALSE(dev.WriteBlock(100, ByteSpan(buf.data(), buf.size())).ok());
+}
+
+TEST(FlashTest, WrongBufferSizeRejected) {
+  FlashDevice dev(4);
+  Bytes small(100);
+  EXPECT_FALSE(dev.WriteBlock(0, ByteSpan(small.data(), small.size())).ok());
+}
+
+TEST(FlashTest, ReadSlowerThanWrite) {
+  // TLC read latency dominates SLC-cache program latency in the model.
+  FlashDevice dev(1024);
+  const auto read = dev.ServiceTime(0, 1, /*is_write=*/false, 0);
+  FlashDevice dev2(1024);
+  const auto write = dev2.ServiceTime(0, 1, /*is_write=*/true, 0);
+  EXPECT_GT(read, write);
+}
+
+TEST(FlashTest, ChannelParallelismOverlapsBlocks) {
+  FlashLatency lat;
+  lat.channels = 8;
+  FlashDevice dev(1024, lat);
+  // 8 consecutive LBAs hit 8 distinct channels: service time should be far
+  // less than 8 serial reads.
+  const auto batched = dev.ServiceTime(0, 8, false, 0);
+  FlashDevice serial_dev(1024, FlashLatency{.channels = 1});
+  const auto serial = serial_dev.ServiceTime(0, 8, false, 0);
+  EXPECT_LT(batched * 4, serial);
+}
+
+TEST(FlashTest, ChannelContentionSerializes) {
+  FlashLatency lat;
+  lat.channels = 8;
+  FlashDevice dev(1024, lat);
+  const auto first = dev.ServiceTime(0, 1, false, 0);
+  // Same channel (lba 8 maps to channel 0 again) while still busy.
+  const auto second = dev.ServiceTime(8, 1, false, 0);
+  EXPECT_GE(second, first + lat.read_ns);
+}
+
+// -- Queues -----------------------------------------------------------------
+
+TEST(QueueTest, FifoOrder) {
+  SubmissionQueue sq(1, 8);
+  for (uint16_t i = 0; i < 5; ++i) {
+    Command cmd;
+    cmd.cid = i;
+    ASSERT_TRUE(sq.Push(std::move(cmd)).ok());
+  }
+  for (uint16_t i = 0; i < 5; ++i) {
+    auto cmd = sq.Pop();
+    ASSERT_TRUE(cmd.has_value());
+    EXPECT_EQ(cmd->cid, i);
+  }
+  EXPECT_FALSE(sq.Pop().has_value());
+}
+
+TEST(QueueTest, FullQueueRejectsPush) {
+  SubmissionQueue sq(1, 4);  // capacity entries-1 = 3
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(sq.Push(Command{}).ok());
+  }
+  EXPECT_TRUE(sq.Full());
+  EXPECT_EQ(sq.Push(Command{}).code(), StatusCode::kResourceExhausted);
+}
+
+TEST(QueueTest, WrapAround) {
+  SubmissionQueue sq(1, 4);
+  for (int round = 0; round < 10; ++round) {
+    Command cmd;
+    cmd.cid = static_cast<uint16_t>(round);
+    ASSERT_TRUE(sq.Push(std::move(cmd)).ok());
+    auto popped = sq.Pop();
+    ASSERT_TRUE(popped.has_value());
+    EXPECT_EQ(popped->cid, round);
+  }
+}
+
+TEST(QueueTest, CompletionQueueRoundTrip) {
+  CompletionQueue cq(8);
+  Completion cqe;
+  cqe.cid = 42;
+  ASSERT_TRUE(cq.Post(std::move(cqe)).ok());
+  auto reaped = cq.Reap();
+  ASSERT_TRUE(reaped.has_value());
+  EXPECT_EQ(reaped->cid, 42);
+  EXPECT_FALSE(cq.Reap().has_value());
+}
+
+// -- Controller --------------------------------------------------------------
+
+class ControllerTest : public ::testing::Test {
+ protected:
+  sim::Engine engine_;
+  Controller ctrl_{&engine_};
+};
+
+TEST_F(ControllerTest, SyncWriteReadRoundTrip) {
+  const uint32_t ns = ctrl_.AddNamespace(1024);
+  Bytes data = Pattern(2 * kLbaSize, 3);
+  ASSERT_TRUE(ctrl_.Write(ns, 10, ByteSpan(data.data(), data.size())).ok());
+  auto read = ctrl_.Read(ns, 10, 2);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, data);
+}
+
+TEST_F(ControllerTest, TimeAdvancesOnIo) {
+  const uint32_t ns = ctrl_.AddNamespace(1024);
+  const auto before = engine_.Now();
+  ASSERT_TRUE(ctrl_.Read(ns, 0, 1).ok());
+  EXPECT_GT(engine_.Now(), before);
+}
+
+TEST_F(ControllerTest, OutOfRangeRead) {
+  const uint32_t ns = ctrl_.AddNamespace(8);
+  EXPECT_FALSE(ctrl_.Read(ns, 7, 2).ok());
+}
+
+TEST_F(ControllerTest, MisalignedWriteRejected) {
+  const uint32_t ns = ctrl_.AddNamespace(8);
+  Bytes partial(100);
+  EXPECT_EQ(ctrl_.Write(ns, 0, ByteSpan(partial.data(), partial.size())).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(ControllerTest, QueuePairFlow) {
+  const uint32_t ns = ctrl_.AddNamespace(64);
+  const uint16_t qid = ctrl_.CreateQueuePair(16);
+  Bytes data = Pattern(kLbaSize, 9);
+
+  Command write;
+  write.cid = 1;
+  write.opcode = Opcode::kWrite;
+  write.nsid = ns;
+  write.slba = 4;
+  write.nlb = 0;
+  write.data = data;
+  ASSERT_TRUE(ctrl_.Submit(qid, std::move(write)).ok());
+
+  Command read;
+  read.cid = 2;
+  read.opcode = Opcode::kRead;
+  read.nsid = ns;
+  read.slba = 4;
+  read.nlb = 0;
+  ASSERT_TRUE(ctrl_.Submit(qid, std::move(read)).ok());
+
+  EXPECT_EQ(ctrl_.ProcessSubmissions(), 2u);
+
+  auto c1 = ctrl_.Reap(qid);
+  ASSERT_TRUE(c1.has_value());
+  EXPECT_EQ(c1->cid, 1);
+  EXPECT_EQ(c1->status, CmdStatus::kSuccess);
+  auto c2 = ctrl_.Reap(qid);
+  ASSERT_TRUE(c2.has_value());
+  EXPECT_EQ(c2->cid, 2);
+  EXPECT_EQ(c2->data, data);
+  EXPECT_FALSE(ctrl_.Reap(qid).has_value());
+}
+
+TEST_F(ControllerTest, InvalidOpcodeCompletesWithError) {
+  ctrl_.AddNamespace(8);
+  const uint16_t qid = ctrl_.CreateQueuePair(8);
+  Command bogus;
+  bogus.opcode = static_cast<Opcode>(0x7f);
+  bogus.nsid = 1;
+  ASSERT_TRUE(ctrl_.Submit(qid, std::move(bogus)).ok());
+  ctrl_.ProcessSubmissions();
+  auto cqe = ctrl_.Reap(qid);
+  ASSERT_TRUE(cqe.has_value());
+  EXPECT_EQ(cqe->status, CmdStatus::kInvalidOpcode);
+}
+
+TEST_F(ControllerTest, IdentifyReportsNamespaces) {
+  ctrl_.AddNamespace(100);
+  ctrl_.AddNamespace(200);
+  const uint16_t qid = ctrl_.CreateQueuePair(8);
+  Command identify;
+  identify.opcode = Opcode::kIdentify;
+  identify.nsid = 1;
+  ASSERT_TRUE(ctrl_.Submit(qid, std::move(identify)).ok());
+  ctrl_.ProcessSubmissions();
+  auto cqe = ctrl_.Reap(qid);
+  ASSERT_TRUE(cqe.has_value());
+  ASSERT_GE(cqe->data.size(), 20u);
+  EXPECT_EQ(GetU32(cqe->data, 0), 2u);
+  EXPECT_EQ(GetU64(cqe->data, 4), 100u);
+  EXPECT_EQ(GetU64(cqe->data, 12), 200u);
+}
+
+TEST_F(ControllerTest, CountersTrackIo) {
+  const uint32_t ns = ctrl_.AddNamespace(64);
+  Bytes data(kLbaSize, 1);
+  ASSERT_TRUE(ctrl_.Write(ns, 0, ByteSpan(data.data(), data.size())).ok());
+  ASSERT_TRUE(ctrl_.Read(ns, 0, 1).ok());
+  ASSERT_TRUE(ctrl_.Flush(ns).ok());
+  EXPECT_EQ(ctrl_.counters().Get("nvme_writes"), 1u);
+  EXPECT_EQ(ctrl_.counters().Get("nvme_reads"), 1u);
+  EXPECT_EQ(ctrl_.counters().Get("nvme_flushes"), 1u);
+  EXPECT_EQ(ctrl_.counters().Get("nvme_read_bytes"), static_cast<uint64_t>(kLbaSize));
+}
+
+}  // namespace
+}  // namespace hyperion::nvme
+
+namespace zns_tests {
+
+using hyperion::nvme::Controller;
+using hyperion::nvme::ZoneState;
+using hyperion::nvme::ZonedNamespace;
+using hyperion::nvme::kLbaSize;
+using hyperion::Bytes;
+using hyperion::ByteSpan;
+using hyperion::StatusCode;
+
+class ZnsTest : public ::testing::Test {
+ protected:
+  ZnsTest() : ctrl_(&engine_) {
+    nsid_ = ctrl_.AddNamespace(256);  // 1 MiB, zones of 16 LBAs
+    auto zns = ZonedNamespace::Create(&ctrl_, nsid_, 16);
+    CHECK_OK(zns.status());
+    zns_ = std::make_unique<ZonedNamespace>(std::move(*zns));
+  }
+
+  Bytes Blocks(uint32_t n, uint8_t seed) {
+    Bytes b(n * kLbaSize);
+    for (size_t i = 0; i < b.size(); ++i) {
+      b[i] = static_cast<uint8_t>(seed + i);
+    }
+    return b;
+  }
+
+  hyperion::sim::Engine engine_;
+  Controller ctrl_;
+  uint32_t nsid_ = 0;
+  std::unique_ptr<ZonedNamespace> zns_;
+};
+
+TEST_F(ZnsTest, GeometryFromNamespace) {
+  EXPECT_EQ(zns_->ZoneCount(), 16u);
+  auto zone = zns_->Describe(3);
+  ASSERT_TRUE(zone.ok());
+  EXPECT_EQ(zone->start_lba, 48u);
+  EXPECT_EQ(zone->state, ZoneState::kEmpty);
+}
+
+TEST_F(ZnsTest, SequentialWriteAdvancesWritePointer) {
+  Bytes data = Blocks(2, 1);
+  ASSERT_TRUE(zns_->Write(0, 0, ByteSpan(data.data(), data.size())).ok());
+  auto zone = zns_->Describe(0);
+  EXPECT_EQ(zone->write_pointer, 2u);
+  EXPECT_EQ(zone->state, ZoneState::kOpen);
+  auto read = zns_->Read(0, 0, 2);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, data);
+}
+
+TEST_F(ZnsTest, NonSequentialWriteRejected) {
+  Bytes data = Blocks(1, 2);
+  // Writing at LBA 5 of an empty zone violates the write pointer.
+  EXPECT_EQ(zns_->Write(0, 5, ByteSpan(data.data(), data.size())).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(ZnsTest, ZoneFillsAndRejectsFurtherWrites) {
+  Bytes data = Blocks(16, 3);
+  ASSERT_TRUE(zns_->Write(1, 16, ByteSpan(data.data(), data.size())).ok());
+  EXPECT_EQ(zns_->Describe(1)->state, ZoneState::kFull);
+  Bytes more = Blocks(1, 4);
+  EXPECT_EQ(zns_->Write(1, 32, ByteSpan(more.data(), more.size())).code(),
+            StatusCode::kResourceExhausted);  // the zone is FULL
+}
+
+TEST_F(ZnsTest, AppendReturnsAssignedLba) {
+  Bytes a = Blocks(1, 5);
+  Bytes b = Blocks(1, 6);
+  auto lba_a = zns_->Append(2, ByteSpan(a.data(), a.size()));
+  auto lba_b = zns_->Append(2, ByteSpan(b.data(), b.size()));
+  ASSERT_TRUE(lba_a.ok());
+  ASSERT_TRUE(lba_b.ok());
+  EXPECT_EQ(*lba_a, 32u);
+  EXPECT_EQ(*lba_b, 33u);
+  EXPECT_EQ(*zns_->Read(2, *lba_b, 1), b);
+}
+
+TEST_F(ZnsTest, ReadBeyondWritePointerRejected) {
+  Bytes data = Blocks(1, 7);
+  ASSERT_TRUE(zns_->Append(0, ByteSpan(data.data(), data.size())).ok());
+  EXPECT_EQ(zns_->Read(0, 1, 1).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(ZnsTest, ResetReturnsZoneToEmpty) {
+  Bytes data = Blocks(4, 8);
+  ASSERT_TRUE(zns_->Write(0, 0, ByteSpan(data.data(), data.size())).ok());
+  ASSERT_TRUE(zns_->Reset(0).ok());
+  auto zone = zns_->Describe(0);
+  EXPECT_EQ(zone->state, ZoneState::kEmpty);
+  EXPECT_EQ(zone->write_pointer, 0u);
+  // Writable from the start again.
+  EXPECT_TRUE(zns_->Write(0, 0, ByteSpan(data.data(), data.size())).ok());
+}
+
+TEST_F(ZnsTest, FinishForcesFull) {
+  ASSERT_TRUE(zns_->Finish(5).ok());
+  EXPECT_EQ(zns_->Describe(5)->state, ZoneState::kFull);
+  Bytes data = Blocks(1, 9);
+  EXPECT_EQ(zns_->Write(5, 80, ByteSpan(data.data(), data.size())).code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST_F(ZnsTest, ZoneSizeMustDivideIntoNamespace) {
+  EXPECT_FALSE(ZonedNamespace::Create(&ctrl_, nsid_, 0).ok());
+  EXPECT_FALSE(ZonedNamespace::Create(&ctrl_, nsid_, 10000).ok());
+}
+
+}  // namespace zns_tests

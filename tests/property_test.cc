@@ -1,0 +1,274 @@
+// Property-based tests across module boundaries.
+//
+// The headline property is the §2.5 safety contract: any program the eBPF
+// verifier ACCEPTS must execute in the VM without tripping its runtime
+// sandbox — on any input. (Rejection is always allowed; what must never
+// happen is accept-then-trap, because on real Hyperion "trap" would be a
+// misbehaving circuit with no OS underneath to catch it.)
+//
+// Also here: transports under parameterized loss, and the file system vs
+// an in-memory reference model under random operation sequences.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/common/rng.h"
+#include "src/ebpf/insn.h"
+#include "src/ebpf/verifier.h"
+#include "src/ebpf/vm.h"
+#include "src/fs/extfs.h"
+#include "src/net/transport.h"
+#include "src/nvme/controller.h"
+
+namespace hyperion {
+namespace {
+
+// -- Verifier/VM differential fuzz ---------------------------------------
+
+// Generates a random (mostly garbage) program from plausible instruction
+// templates. Offsets/registers/immediates are drawn adversarially wide so
+// plenty of unsafe programs are produced.
+ebpf::Program RandomProgram(Rng& rng, bool with_map) {
+  using namespace ebpf;  // NOLINT
+  Program prog;
+  prog.name = "fuzz";
+  prog.ctx_size = 64;
+  const uint64_t length = rng.UniformRange(3, 24);
+  // Prologue: initialize every general-purpose register so the body's
+  // rejections come from interesting properties (bounds, pointer typing,
+  // helper contracts) rather than trivially from uninitialized reads.
+  for (uint8_t r : {0, 3, 4, 5, 6, 7, 8}) {  // keep r1 = ctx ptr, r2 = len
+    prog.insns.push_back(Mov64Imm(r, static_cast<int32_t>(rng.Uniform(64))));
+  }
+  // Register/offset distributions are biased so a useful fraction of
+  // programs verifies, while off-by-wide values still generate plenty of
+  // programs the verifier must reject.
+  auto any_reg = [&] { return static_cast<uint8_t>(rng.Uniform(11)); };
+  auto gp_reg = [&] { return static_cast<uint8_t>(rng.Uniform(9)); };  // r0-r8
+  // A memory base: usually r10 (stack) or r1 (ctx), sometimes anything.
+  auto mem_base = [&]() -> uint8_t {
+    const uint64_t pick = rng.Uniform(10);
+    if (pick < 5) {
+      return 10;
+    }
+    if (pick < 8) {
+      return 1;
+    }
+    return any_reg();
+  };
+  // Offsets clustered near validity for the chosen base.
+  auto mem_off = [&](uint8_t base) -> int16_t {
+    if (base == 10) {
+      return static_cast<int16_t>(-8 * static_cast<int16_t>(rng.UniformRange(1, 70)));
+    }
+    return static_cast<int16_t>(rng.Uniform(80));
+  };
+  for (uint64_t i = 0; i < length; ++i) {
+    const uint64_t kind = rng.Uniform(12);
+    switch (kind) {
+      case 0:
+        prog.insns.push_back(Mov64Imm(gp_reg(), static_cast<int32_t>(rng.Uniform(200))));
+        break;
+      case 1:
+        prog.insns.push_back(Mov64Reg(gp_reg(), any_reg()));
+        break;
+      case 2:
+        prog.insns.push_back(Alu64Imm(kAluAdd, gp_reg(),
+                                      static_cast<int32_t>(rng.Uniform(100)) - 50));
+        break;
+      case 3:
+        prog.insns.push_back(Alu64Reg(kAluXor, gp_reg(), any_reg()));
+        break;
+      case 4: {
+        const uint8_t base = mem_base();
+        prog.insns.push_back(LoadMem(kSizeW, gp_reg(), base, mem_off(base)));
+        break;
+      }
+      case 5: {
+        const uint8_t base = mem_base();
+        prog.insns.push_back(StoreReg(kSizeDw, base, mem_off(base), any_reg()));
+        break;
+      }
+      case 6: {
+        const uint8_t base = mem_base();
+        prog.insns.push_back(StoreImm(kSizeB, base, mem_off(base),
+                                      static_cast<int32_t>(rng.Uniform(256))));
+        break;
+      }
+      case 7:
+        prog.insns.push_back(JumpImm(kJmpJgt, any_reg(),
+                                     static_cast<int32_t>(rng.Uniform(100)),
+                                     static_cast<int16_t>(rng.Uniform(6))));
+        break;
+      case 8:
+        prog.insns.push_back(EndianSwap(gp_reg(), rng.Bernoulli(0.5),
+                                        16 << rng.Uniform(3)));
+        break;
+      case 9: {
+        const uint8_t base = mem_base();
+        prog.insns.push_back(AtomicAdd(kSizeDw, base, mem_off(base), any_reg()));
+        break;
+      }
+      case 10:
+        if (with_map) {
+          LoadMapFd(prog.insns, gp_reg(), static_cast<uint32_t>(rng.Uniform(2)));
+          break;
+        }
+        [[fallthrough]];
+      default:
+        prog.insns.push_back(
+            Call(static_cast<HelperId>(rng.Bernoulli(0.7) ? 1 : 5)));
+        break;
+    }
+  }
+  prog.insns.push_back(Mov64Imm(0, 0));
+  prog.insns.push_back(Exit());
+  return prog;
+}
+
+class VerifierFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(VerifierFuzz, AcceptedProgramsNeverTrapTheVm) {
+  Rng rng(GetParam() * 7919);
+  ebpf::MapRegistry maps;
+  maps.Create({ebpf::MapType::kHash, 4, 8, 32, "fuzz_hash"});
+  maps.Create({ebpf::MapType::kArray, 4, 16, 8, "fuzz_array"});
+  int accepted = 0;
+  for (int round = 0; round < 400; ++round) {
+    ebpf::Program prog = RandomProgram(rng, /*with_map=*/true);
+    auto verdict = ebpf::Verify(prog, maps);
+    if (!verdict.ok()) {
+      continue;  // rejection is always fine
+    }
+    ++accepted;
+    ebpf::Vm vm(&maps);
+    for (int input = 0; input < 3; ++input) {
+      Bytes ctx(64);
+      for (auto& byte : ctx) {
+        byte = static_cast<uint8_t>(rng.Next());
+      }
+      auto run = vm.Run(prog, MutableByteSpan(ctx));
+      ASSERT_TRUE(run.ok()) << "ACCEPTED program trapped: " << run.status().ToString()
+                            << "\nseed=" << GetParam() << " round=" << round;
+    }
+  }
+  // The generator must actually exercise the accept path.
+  EXPECT_GT(accepted, 0) << "generator produced no verifiable programs";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VerifierFuzz, ::testing::Range<uint64_t>(1, 13));
+
+// -- Transports under parameterized loss -----------------------------------
+
+struct LossCase {
+  net::TransportKind kind;
+  double loss;
+};
+
+class TransportLoss : public ::testing::TestWithParam<LossCase> {};
+
+TEST_P(TransportLoss, ReliableTransportsAlwaysCompleteRoundTrips) {
+  sim::Engine engine;
+  net::Fabric fabric(&engine);
+  Rng rng(11);
+  const net::HostId a = fabric.AddHost("a");
+  const net::HostId b = fabric.AddHost("b");
+  net::TransportParams params;
+  params.loss_probability = GetParam().loss;
+  auto transport = net::MakeTransport(GetParam().kind, &fabric, &rng, params);
+  for (int i = 0; i < 100; ++i) {
+    auto rt = transport->RoundTrip(a, b, 64, 256);
+    ASSERT_TRUE(rt.ok()) << net::TransportKindName(GetParam().kind) << " at loss "
+                         << GetParam().loss;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TransportLoss,
+    ::testing::Values(LossCase{net::TransportKind::kTcp, 0.0},
+                      LossCase{net::TransportKind::kTcp, 0.05},
+                      LossCase{net::TransportKind::kTcp, 0.2},
+                      LossCase{net::TransportKind::kUdp, 0.0},
+                      LossCase{net::TransportKind::kUdp, 0.05},
+                      LossCase{net::TransportKind::kUdp, 0.2}),
+    [](const auto& info) {
+      return std::string(net::TransportKindName(info.param.kind)) + "_loss" +
+             std::to_string(static_cast<int>(info.param.loss * 100));
+    });
+
+// -- File system vs in-memory reference model ------------------------------
+
+TEST(FsPropertyTest, RandomOpsMatchReferenceModel) {
+  sim::Engine engine;
+  nvme::Controller ctrl(&engine);
+  const uint32_t nsid = ctrl.AddNamespace(32768);
+  auto fs = fs::ExtFs::Format(&ctrl, nsid);
+  ASSERT_TRUE(fs.ok());
+
+  Rng rng(31337);
+  // Reference: path -> contents.
+  std::map<std::string, Bytes> model;
+  std::map<std::string, uint32_t> inodes;
+  const std::string names[] = {"/a", "/b", "/c", "/d", "/e"};
+
+  for (int step = 0; step < 400; ++step) {
+    const std::string& path = names[rng.Uniform(5)];
+    const uint64_t action = rng.Uniform(4);
+    if (action == 0) {
+      // Create (idempotence checked via AlreadyExists).
+      auto inode = fs->CreateFile(path);
+      if (model.count(path) != 0) {
+        EXPECT_FALSE(inode.ok()) << path;
+      } else {
+        ASSERT_TRUE(inode.ok()) << path;
+        model[path] = {};
+        inodes[path] = *inode;
+      }
+    } else if (action == 1 && model.count(path) != 0) {
+      // Random write at a random offset.
+      const uint64_t offset = rng.Uniform(20000);
+      Bytes data(rng.UniformRange(1, 3000));
+      for (auto& byte : data) {
+        byte = static_cast<uint8_t>(rng.Next());
+      }
+      ASSERT_TRUE(fs->WriteFile(inodes[path], offset, ByteSpan(data.data(), data.size())).ok());
+      Bytes& ref = model[path];
+      if (ref.size() < offset + data.size()) {
+        ref.resize(offset + data.size(), 0);
+      }
+      std::copy(data.begin(), data.end(), ref.begin() + static_cast<ptrdiff_t>(offset));
+    } else if (action == 2 && model.count(path) != 0) {
+      // Random read must match the model byte for byte.
+      const Bytes& ref = model[path];
+      if (ref.empty()) {
+        continue;
+      }
+      const uint64_t offset = rng.Uniform(ref.size());
+      const uint64_t len = rng.UniformRange(1, 2000);
+      auto got = fs->ReadFile(inodes[path], offset, len);
+      ASSERT_TRUE(got.ok());
+      const uint64_t expect_len = std::min<uint64_t>(len, ref.size() - offset);
+      ASSERT_EQ(got->size(), expect_len) << path << " @" << offset;
+      EXPECT_TRUE(std::equal(got->begin(), got->end(),
+                             ref.begin() + static_cast<ptrdiff_t>(offset)))
+          << path << " @" << offset;
+    } else if (action == 3 && model.count(path) != 0 && rng.Bernoulli(0.2)) {
+      ASSERT_TRUE(fs->Remove(path).ok()) << path;
+      model.erase(path);
+      inodes.erase(path);
+    }
+  }
+  // Final sweep: everything still present reads back in full.
+  for (const auto& [path, ref] : model) {
+    if (ref.empty()) {
+      continue;
+    }
+    auto got = fs->ReadFile(inodes.at(path), 0, ref.size());
+    ASSERT_TRUE(got.ok()) << path;
+    EXPECT_EQ(*got, ref) << path;
+  }
+}
+
+}  // namespace
+}  // namespace hyperion

@@ -1,0 +1,226 @@
+// Unit tests for src/sim: event engine determinism, histogram accuracy,
+// energy model budgets.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/energy.h"
+#include "src/sim/engine.h"
+#include "src/sim/stats.h"
+#include "src/sim/time.h"
+
+namespace hyperion::sim {
+namespace {
+
+// -- time helpers -------------------------------------------------------
+
+TEST(TimeTest, TransferTimeMatchesLineRate) {
+  // 1250 bytes at 100 Gbps = 10000 bits / 100e9 bps = 100 ns.
+  EXPECT_EQ(TransferTime(1250, 100.0), 100u);
+}
+
+TEST(TimeTest, CyclesToTimeAtKnownClock) {
+  // 250 cycles at 250 MHz = 1 us.
+  EXPECT_EQ(CyclesToTime(250, 250.0), 1000u);
+}
+
+// -- Engine ---------------------------------------------------------------
+
+TEST(EngineTest, RunsEventsInTimeOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.ScheduleAfter(30, [&] { order.push_back(3); });
+  engine.ScheduleAfter(10, [&] { order.push_back(1); });
+  engine.ScheduleAfter(20, [&] { order.push_back(2); });
+  EXPECT_EQ(engine.Run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(engine.Now(), 30u);
+}
+
+TEST(EngineTest, TiesBreakByInsertionOrder) {
+  Engine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    engine.ScheduleAfter(100, [&order, i] { order.push_back(i); });
+  }
+  engine.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EngineTest, EventsCanScheduleEvents) {
+  Engine engine;
+  int fired = 0;
+  engine.ScheduleAfter(10, [&] {
+    ++fired;
+    engine.ScheduleAfter(10, [&] { ++fired; });
+  });
+  EXPECT_EQ(engine.Run(), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(engine.Now(), 20u);
+}
+
+TEST(EngineTest, RunUntilStopsAtDeadline) {
+  Engine engine;
+  int fired = 0;
+  engine.ScheduleAfter(10, [&] { ++fired; });
+  engine.ScheduleAfter(100, [&] { ++fired; });
+  EXPECT_EQ(engine.RunUntil(50), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(engine.Now(), 50u);
+  EXPECT_EQ(engine.PendingEvents(), 1u);
+}
+
+TEST(EngineTest, AdvanceMovesClockWithoutEvents) {
+  Engine engine;
+  engine.Advance(1234);
+  EXPECT_EQ(engine.Now(), 1234u);
+  EXPECT_TRUE(engine.Empty());
+}
+
+// -- Histogram -------------------------------------------------------------
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.P50(), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+}
+
+TEST(HistogramTest, SmallValuesExact) {
+  Histogram h;
+  for (uint64_t v = 0; v < 31; ++v) {
+    h.Record(v);
+  }
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 30u);
+  EXPECT_EQ(h.count(), 31u);
+}
+
+TEST(HistogramTest, PercentilesWithinRelativeError) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 100000; ++v) {
+    h.Record(v);
+  }
+  // Log-bucketed: ~3% relative error allowed.
+  EXPECT_NEAR(static_cast<double>(h.P50()), 50000.0, 50000.0 * 0.04);
+  EXPECT_NEAR(static_cast<double>(h.P99()), 99000.0, 99000.0 * 0.04);
+  EXPECT_NEAR(h.Mean(), 50000.5, 1.0);
+}
+
+TEST(HistogramTest, PercentileNeverExceedsMax) {
+  Histogram h;
+  h.Record(7);
+  h.Record(1000000);
+  EXPECT_LE(h.P999(), 1000000u);
+  EXPECT_EQ(h.max(), 1000000u);
+}
+
+TEST(HistogramTest, MergeCombinesCounts) {
+  Histogram a;
+  Histogram b;
+  a.Record(10);
+  b.Record(1000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_EQ(a.max(), 1000u);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Record(5);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+// -- Counters ---------------------------------------------------------------
+
+TEST(CountersTest, AddAndGet) {
+  Counters c;
+  c.Add("bytes", 100);
+  c.Add("bytes", 50);
+  c.Increment("ops");
+  EXPECT_EQ(c.Get("bytes"), 150u);
+  EXPECT_EQ(c.Get("ops"), 1u);
+  EXPECT_EQ(c.Get("missing"), 0u);
+}
+
+TEST(CountersTest, SnapshotIsSorted) {
+  Counters c;
+  c.Add("zeta", 1);
+  c.Add("alpha", 2);
+  auto snap = c.Snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].first, "alpha");
+  EXPECT_EQ(snap[1].first, "zeta");
+}
+
+// -- Energy ---------------------------------------------------------------
+
+TEST(EnergyTest, IdleDrawIntegratesOverTime) {
+  EnergyModel m;
+  m.AddComponent({"x", 10.0, 0.0});
+  // 10 W for 2 s = 20 J.
+  EXPECT_DOUBLE_EQ(m.TotalJoules(2 * kSecond), 20.0);
+}
+
+TEST(EnergyTest, ActiveDrawChargesBusyTime) {
+  EnergyModel m;
+  const size_t id = m.AddComponent({"x", 0.0, 100.0});
+  m.Busy(id, kSecond / 2);
+  EXPECT_DOUBLE_EQ(m.TotalJoules(kSecond), 50.0);
+}
+
+TEST(EnergyTest, DpuEnvelopeMatchesPaper) {
+  // The paper quotes ~230 W max TDP for Hyperion vs ~1,600 W for the 1U
+  // server; the models must reproduce those envelopes.
+  EnergyModel dpu = MakeDpuEnergyModel();
+  EnergyModel server = MakeServerEnergyModel();
+  EXPECT_NEAR(dpu.PeakWatts(), 230.0, 5.0);
+  EXPECT_NEAR(server.PeakWatts(), 1600.0, 20.0);
+  const double ratio = server.PeakWatts() / dpu.PeakWatts();
+  EXPECT_GT(ratio, 4.0);
+  EXPECT_LT(ratio, 8.0);
+}
+
+TEST(EnergyTest, IdleIsBelowPeak) {
+  EnergyModel dpu = MakeDpuEnergyModel();
+  EXPECT_LT(dpu.IdleWatts(), dpu.PeakWatts());
+}
+
+}  // namespace
+}  // namespace hyperion::sim
+
+namespace coverage_extras {
+
+using namespace hyperion::sim;  // NOLINT
+
+TEST(CountersTest, ResetClearsEverything) {
+  Counters c;
+  c.Add("x", 5);
+  c.Reset();
+  EXPECT_EQ(c.Get("x"), 0u);
+  EXPECT_TRUE(c.Snapshot().empty());
+}
+
+TEST(HistogramTest, SummaryIsHumanReadable) {
+  Histogram h;
+  h.Record(1000);
+  h.Record(2000);
+  const std::string summary = h.SummaryNs();
+  EXPECT_NE(summary.find("n=2"), std::string::npos);
+  EXPECT_NE(summary.find("p50"), std::string::npos);
+}
+
+TEST(EngineTest, ScheduleAtAbsoluteTime) {
+  Engine engine;
+  engine.Advance(100);
+  int fired_at = 0;
+  engine.ScheduleAt(250, [&] { fired_at = static_cast<int>(engine.Now()); });
+  engine.Run();
+  EXPECT_EQ(fired_at, 250);
+}
+
+}  // namespace coverage_extras
