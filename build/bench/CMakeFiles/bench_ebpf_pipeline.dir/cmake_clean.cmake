@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ebpf_pipeline.dir/bench_ebpf_pipeline.cc.o"
+  "CMakeFiles/bench_ebpf_pipeline.dir/bench_ebpf_pipeline.cc.o.d"
+  "bench_ebpf_pipeline"
+  "bench_ebpf_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ebpf_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_datapath.dir/bench_fig2_datapath.cc.o"
+  "CMakeFiles/bench_fig2_datapath.dir/bench_fig2_datapath.cc.o.d"
+  "bench_fig2_datapath"
+  "bench_fig2_datapath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_datapath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fs_annotation.dir/bench_fs_annotation.cc.o"
+  "CMakeFiles/bench_fs_annotation.dir/bench_fs_annotation.cc.o.d"
+  "bench_fs_annotation"
+  "bench_fs_annotation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fs_annotation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_middleware.dir/bench_middleware.cc.o"
+  "CMakeFiles/bench_middleware.dir/bench_middleware.cc.o.d"
+  "bench_middleware"
+  "bench_middleware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_middleware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

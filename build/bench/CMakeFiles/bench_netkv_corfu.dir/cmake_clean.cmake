@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_netkv_corfu.dir/bench_netkv_corfu.cc.o"
+  "CMakeFiles/bench_netkv_corfu.dir/bench_netkv_corfu.cc.o.d"
+  "bench_netkv_corfu"
+  "bench_netkv_corfu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_netkv_corfu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pointer_chasing.dir/bench_pointer_chasing.cc.o"
+  "CMakeFiles/bench_pointer_chasing.dir/bench_pointer_chasing.cc.o.d"
+  "bench_pointer_chasing"
+  "bench_pointer_chasing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pointer_chasing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

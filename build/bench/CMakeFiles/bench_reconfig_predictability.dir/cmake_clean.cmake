@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reconfig_predictability.dir/bench_reconfig_predictability.cc.o"
+  "CMakeFiles/bench_reconfig_predictability.dir/bench_reconfig_predictability.cc.o.d"
+  "bench_reconfig_predictability"
+  "bench_reconfig_predictability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reconfig_predictability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_segment_vs_vm.dir/bench_segment_vs_vm.cc.o"
+  "CMakeFiles/bench_segment_vs_vm.dir/bench_segment_vs_vm.cc.o.d"
+  "bench_segment_vs_vm"
+  "bench_segment_vs_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_segment_vs_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_analytics.dir/kv_analytics.cc.o"
+  "CMakeFiles/kv_analytics.dir/kv_analytics.cc.o.d"
+  "kv_analytics"
+  "kv_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

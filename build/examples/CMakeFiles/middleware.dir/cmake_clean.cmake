@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/middleware.dir/middleware.cc.o"
+  "CMakeFiles/middleware.dir/middleware.cc.o.d"
+  "middleware"
+  "middleware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/middleware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

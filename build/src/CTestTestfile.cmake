@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("pcie")
+subdirs("nvme")
+subdirs("net")
+subdirs("mem")
+subdirs("ebpf")
+subdirs("fpga")
+subdirs("storage")
+subdirs("fs")
+subdirs("format")
+subdirs("baseline")
+subdirs("dpu")
+subdirs("apps")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperion_apps.dir/fail2ban.cc.o"
+  "CMakeFiles/hyperion_apps.dir/fail2ban.cc.o.d"
+  "CMakeFiles/hyperion_apps.dir/load_balancer.cc.o"
+  "CMakeFiles/hyperion_apps.dir/load_balancer.cc.o.d"
+  "CMakeFiles/hyperion_apps.dir/packet.cc.o"
+  "CMakeFiles/hyperion_apps.dir/packet.cc.o.d"
+  "libhyperion_apps.a"
+  "libhyperion_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperion_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/host.cc" "src/baseline/CMakeFiles/hyperion_baseline.dir/host.cc.o" "gcc" "src/baseline/CMakeFiles/hyperion_baseline.dir/host.cc.o.d"
+  "/root/repo/src/baseline/integration.cc" "src/baseline/CMakeFiles/hyperion_baseline.dir/integration.cc.o" "gcc" "src/baseline/CMakeFiles/hyperion_baseline.dir/integration.cc.o.d"
+  "/root/repo/src/baseline/server.cc" "src/baseline/CMakeFiles/hyperion_baseline.dir/server.cc.o" "gcc" "src/baseline/CMakeFiles/hyperion_baseline.dir/server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hyperion_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hyperion_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcie/CMakeFiles/hyperion_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvme/CMakeFiles/hyperion_nvme.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hyperion_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

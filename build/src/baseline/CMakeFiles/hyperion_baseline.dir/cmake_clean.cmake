@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperion_baseline.dir/host.cc.o"
+  "CMakeFiles/hyperion_baseline.dir/host.cc.o.d"
+  "CMakeFiles/hyperion_baseline.dir/integration.cc.o"
+  "CMakeFiles/hyperion_baseline.dir/integration.cc.o.d"
+  "CMakeFiles/hyperion_baseline.dir/server.cc.o"
+  "CMakeFiles/hyperion_baseline.dir/server.cc.o.d"
+  "libhyperion_baseline.a"
+  "libhyperion_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperion_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperion_common.dir/bytes.cc.o"
+  "CMakeFiles/hyperion_common.dir/bytes.cc.o.d"
+  "CMakeFiles/hyperion_common.dir/log.cc.o"
+  "CMakeFiles/hyperion_common.dir/log.cc.o.d"
+  "CMakeFiles/hyperion_common.dir/status.cc.o"
+  "CMakeFiles/hyperion_common.dir/status.cc.o.d"
+  "CMakeFiles/hyperion_common.dir/u128.cc.o"
+  "CMakeFiles/hyperion_common.dir/u128.cc.o.d"
+  "libhyperion_common.a"
+  "libhyperion_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperion_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperion_dpu.dir/distributed.cc.o"
+  "CMakeFiles/hyperion_dpu.dir/distributed.cc.o.d"
+  "CMakeFiles/hyperion_dpu.dir/hyperion.cc.o"
+  "CMakeFiles/hyperion_dpu.dir/hyperion.cc.o.d"
+  "CMakeFiles/hyperion_dpu.dir/remote_tree.cc.o"
+  "CMakeFiles/hyperion_dpu.dir/remote_tree.cc.o.d"
+  "CMakeFiles/hyperion_dpu.dir/rpc.cc.o"
+  "CMakeFiles/hyperion_dpu.dir/rpc.cc.o.d"
+  "CMakeFiles/hyperion_dpu.dir/services.cc.o"
+  "CMakeFiles/hyperion_dpu.dir/services.cc.o.d"
+  "libhyperion_dpu.a"
+  "libhyperion_dpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperion_dpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

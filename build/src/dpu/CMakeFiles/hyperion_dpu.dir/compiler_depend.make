@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hyperion_dpu.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ebpf/assembler.cc" "src/ebpf/CMakeFiles/hyperion_ebpf.dir/assembler.cc.o" "gcc" "src/ebpf/CMakeFiles/hyperion_ebpf.dir/assembler.cc.o.d"
+  "/root/repo/src/ebpf/frontend.cc" "src/ebpf/CMakeFiles/hyperion_ebpf.dir/frontend.cc.o" "gcc" "src/ebpf/CMakeFiles/hyperion_ebpf.dir/frontend.cc.o.d"
+  "/root/repo/src/ebpf/hdl_codegen.cc" "src/ebpf/CMakeFiles/hyperion_ebpf.dir/hdl_codegen.cc.o" "gcc" "src/ebpf/CMakeFiles/hyperion_ebpf.dir/hdl_codegen.cc.o.d"
+  "/root/repo/src/ebpf/insn.cc" "src/ebpf/CMakeFiles/hyperion_ebpf.dir/insn.cc.o" "gcc" "src/ebpf/CMakeFiles/hyperion_ebpf.dir/insn.cc.o.d"
+  "/root/repo/src/ebpf/maps.cc" "src/ebpf/CMakeFiles/hyperion_ebpf.dir/maps.cc.o" "gcc" "src/ebpf/CMakeFiles/hyperion_ebpf.dir/maps.cc.o.d"
+  "/root/repo/src/ebpf/verifier.cc" "src/ebpf/CMakeFiles/hyperion_ebpf.dir/verifier.cc.o" "gcc" "src/ebpf/CMakeFiles/hyperion_ebpf.dir/verifier.cc.o.d"
+  "/root/repo/src/ebpf/vm.cc" "src/ebpf/CMakeFiles/hyperion_ebpf.dir/vm.cc.o" "gcc" "src/ebpf/CMakeFiles/hyperion_ebpf.dir/vm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hyperion_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hyperion_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

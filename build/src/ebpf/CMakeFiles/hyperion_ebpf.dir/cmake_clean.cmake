@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperion_ebpf.dir/assembler.cc.o"
+  "CMakeFiles/hyperion_ebpf.dir/assembler.cc.o.d"
+  "CMakeFiles/hyperion_ebpf.dir/frontend.cc.o"
+  "CMakeFiles/hyperion_ebpf.dir/frontend.cc.o.d"
+  "CMakeFiles/hyperion_ebpf.dir/hdl_codegen.cc.o"
+  "CMakeFiles/hyperion_ebpf.dir/hdl_codegen.cc.o.d"
+  "CMakeFiles/hyperion_ebpf.dir/insn.cc.o"
+  "CMakeFiles/hyperion_ebpf.dir/insn.cc.o.d"
+  "CMakeFiles/hyperion_ebpf.dir/maps.cc.o"
+  "CMakeFiles/hyperion_ebpf.dir/maps.cc.o.d"
+  "CMakeFiles/hyperion_ebpf.dir/verifier.cc.o"
+  "CMakeFiles/hyperion_ebpf.dir/verifier.cc.o.d"
+  "CMakeFiles/hyperion_ebpf.dir/vm.cc.o"
+  "CMakeFiles/hyperion_ebpf.dir/vm.cc.o.d"
+  "libhyperion_ebpf.a"
+  "libhyperion_ebpf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperion_ebpf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

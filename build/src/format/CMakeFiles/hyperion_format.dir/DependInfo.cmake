@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/format/arrow.cc" "src/format/CMakeFiles/hyperion_format.dir/arrow.cc.o" "gcc" "src/format/CMakeFiles/hyperion_format.dir/arrow.cc.o.d"
+  "/root/repo/src/format/parquet.cc" "src/format/CMakeFiles/hyperion_format.dir/parquet.cc.o" "gcc" "src/format/CMakeFiles/hyperion_format.dir/parquet.cc.o.d"
+  "/root/repo/src/format/scan.cc" "src/format/CMakeFiles/hyperion_format.dir/scan.cc.o" "gcc" "src/format/CMakeFiles/hyperion_format.dir/scan.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hyperion_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hyperion_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperion_format.dir/arrow.cc.o"
+  "CMakeFiles/hyperion_format.dir/arrow.cc.o.d"
+  "CMakeFiles/hyperion_format.dir/parquet.cc.o"
+  "CMakeFiles/hyperion_format.dir/parquet.cc.o.d"
+  "CMakeFiles/hyperion_format.dir/scan.cc.o"
+  "CMakeFiles/hyperion_format.dir/scan.cc.o.d"
+  "libhyperion_format.a"
+  "libhyperion_format.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperion_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fpga/axi.cc" "src/fpga/CMakeFiles/hyperion_fpga.dir/axi.cc.o" "gcc" "src/fpga/CMakeFiles/hyperion_fpga.dir/axi.cc.o.d"
+  "/root/repo/src/fpga/fabric.cc" "src/fpga/CMakeFiles/hyperion_fpga.dir/fabric.cc.o" "gcc" "src/fpga/CMakeFiles/hyperion_fpga.dir/fabric.cc.o.d"
+  "/root/repo/src/fpga/scheduler.cc" "src/fpga/CMakeFiles/hyperion_fpga.dir/scheduler.cc.o" "gcc" "src/fpga/CMakeFiles/hyperion_fpga.dir/scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hyperion_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hyperion_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ebpf/CMakeFiles/hyperion_ebpf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

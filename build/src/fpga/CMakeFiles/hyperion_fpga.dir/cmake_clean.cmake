@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperion_fpga.dir/axi.cc.o"
+  "CMakeFiles/hyperion_fpga.dir/axi.cc.o.d"
+  "CMakeFiles/hyperion_fpga.dir/fabric.cc.o"
+  "CMakeFiles/hyperion_fpga.dir/fabric.cc.o.d"
+  "CMakeFiles/hyperion_fpga.dir/scheduler.cc.o"
+  "CMakeFiles/hyperion_fpga.dir/scheduler.cc.o.d"
+  "libhyperion_fpga.a"
+  "libhyperion_fpga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperion_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

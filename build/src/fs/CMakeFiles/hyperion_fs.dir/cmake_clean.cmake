@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperion_fs.dir/annotation.cc.o"
+  "CMakeFiles/hyperion_fs.dir/annotation.cc.o.d"
+  "CMakeFiles/hyperion_fs.dir/extfs.cc.o"
+  "CMakeFiles/hyperion_fs.dir/extfs.cc.o.d"
+  "libhyperion_fs.a"
+  "libhyperion_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperion_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/allocator.cc" "src/mem/CMakeFiles/hyperion_mem.dir/allocator.cc.o" "gcc" "src/mem/CMakeFiles/hyperion_mem.dir/allocator.cc.o.d"
+  "/root/repo/src/mem/dram.cc" "src/mem/CMakeFiles/hyperion_mem.dir/dram.cc.o" "gcc" "src/mem/CMakeFiles/hyperion_mem.dir/dram.cc.o.d"
+  "/root/repo/src/mem/object_store.cc" "src/mem/CMakeFiles/hyperion_mem.dir/object_store.cc.o" "gcc" "src/mem/CMakeFiles/hyperion_mem.dir/object_store.cc.o.d"
+  "/root/repo/src/mem/segment_table.cc" "src/mem/CMakeFiles/hyperion_mem.dir/segment_table.cc.o" "gcc" "src/mem/CMakeFiles/hyperion_mem.dir/segment_table.cc.o.d"
+  "/root/repo/src/mem/vm_baseline.cc" "src/mem/CMakeFiles/hyperion_mem.dir/vm_baseline.cc.o" "gcc" "src/mem/CMakeFiles/hyperion_mem.dir/vm_baseline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hyperion_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hyperion_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvme/CMakeFiles/hyperion_nvme.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcie/CMakeFiles/hyperion_pcie.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

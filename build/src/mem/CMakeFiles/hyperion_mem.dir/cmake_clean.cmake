@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperion_mem.dir/allocator.cc.o"
+  "CMakeFiles/hyperion_mem.dir/allocator.cc.o.d"
+  "CMakeFiles/hyperion_mem.dir/dram.cc.o"
+  "CMakeFiles/hyperion_mem.dir/dram.cc.o.d"
+  "CMakeFiles/hyperion_mem.dir/object_store.cc.o"
+  "CMakeFiles/hyperion_mem.dir/object_store.cc.o.d"
+  "CMakeFiles/hyperion_mem.dir/segment_table.cc.o"
+  "CMakeFiles/hyperion_mem.dir/segment_table.cc.o.d"
+  "CMakeFiles/hyperion_mem.dir/vm_baseline.cc.o"
+  "CMakeFiles/hyperion_mem.dir/vm_baseline.cc.o.d"
+  "libhyperion_mem.a"
+  "libhyperion_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperion_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

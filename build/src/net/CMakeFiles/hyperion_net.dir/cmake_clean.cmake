@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperion_net.dir/fabric.cc.o"
+  "CMakeFiles/hyperion_net.dir/fabric.cc.o.d"
+  "CMakeFiles/hyperion_net.dir/transport.cc.o"
+  "CMakeFiles/hyperion_net.dir/transport.cc.o.d"
+  "libhyperion_net.a"
+  "libhyperion_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperion_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

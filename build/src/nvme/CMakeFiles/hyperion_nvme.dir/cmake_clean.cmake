@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperion_nvme.dir/controller.cc.o"
+  "CMakeFiles/hyperion_nvme.dir/controller.cc.o.d"
+  "CMakeFiles/hyperion_nvme.dir/flash.cc.o"
+  "CMakeFiles/hyperion_nvme.dir/flash.cc.o.d"
+  "CMakeFiles/hyperion_nvme.dir/queue.cc.o"
+  "CMakeFiles/hyperion_nvme.dir/queue.cc.o.d"
+  "CMakeFiles/hyperion_nvme.dir/zns.cc.o"
+  "CMakeFiles/hyperion_nvme.dir/zns.cc.o.d"
+  "libhyperion_nvme.a"
+  "libhyperion_nvme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperion_nvme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

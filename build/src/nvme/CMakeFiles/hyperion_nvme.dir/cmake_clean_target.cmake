@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhyperion_nvme.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperion_pcie.dir/dma.cc.o"
+  "CMakeFiles/hyperion_pcie.dir/dma.cc.o.d"
+  "CMakeFiles/hyperion_pcie.dir/topology.cc.o"
+  "CMakeFiles/hyperion_pcie.dir/topology.cc.o.d"
+  "libhyperion_pcie.a"
+  "libhyperion_pcie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperion_pcie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

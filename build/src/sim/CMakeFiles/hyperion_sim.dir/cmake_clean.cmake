@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperion_sim.dir/energy.cc.o"
+  "CMakeFiles/hyperion_sim.dir/energy.cc.o.d"
+  "CMakeFiles/hyperion_sim.dir/engine.cc.o"
+  "CMakeFiles/hyperion_sim.dir/engine.cc.o.d"
+  "CMakeFiles/hyperion_sim.dir/stats.cc.o"
+  "CMakeFiles/hyperion_sim.dir/stats.cc.o.d"
+  "libhyperion_sim.a"
+  "libhyperion_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperion_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

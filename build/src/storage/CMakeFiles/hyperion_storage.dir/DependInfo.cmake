@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/bptree.cc" "src/storage/CMakeFiles/hyperion_storage.dir/bptree.cc.o" "gcc" "src/storage/CMakeFiles/hyperion_storage.dir/bptree.cc.o.d"
+  "/root/repo/src/storage/corfu.cc" "src/storage/CMakeFiles/hyperion_storage.dir/corfu.cc.o" "gcc" "src/storage/CMakeFiles/hyperion_storage.dir/corfu.cc.o.d"
+  "/root/repo/src/storage/graph.cc" "src/storage/CMakeFiles/hyperion_storage.dir/graph.cc.o" "gcc" "src/storage/CMakeFiles/hyperion_storage.dir/graph.cc.o.d"
+  "/root/repo/src/storage/hash_index.cc" "src/storage/CMakeFiles/hyperion_storage.dir/hash_index.cc.o" "gcc" "src/storage/CMakeFiles/hyperion_storage.dir/hash_index.cc.o.d"
+  "/root/repo/src/storage/kv.cc" "src/storage/CMakeFiles/hyperion_storage.dir/kv.cc.o" "gcc" "src/storage/CMakeFiles/hyperion_storage.dir/kv.cc.o.d"
+  "/root/repo/src/storage/lsm.cc" "src/storage/CMakeFiles/hyperion_storage.dir/lsm.cc.o" "gcc" "src/storage/CMakeFiles/hyperion_storage.dir/lsm.cc.o.d"
+  "/root/repo/src/storage/txn.cc" "src/storage/CMakeFiles/hyperion_storage.dir/txn.cc.o" "gcc" "src/storage/CMakeFiles/hyperion_storage.dir/txn.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hyperion_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hyperion_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/hyperion_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvme/CMakeFiles/hyperion_nvme.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcie/CMakeFiles/hyperion_pcie.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

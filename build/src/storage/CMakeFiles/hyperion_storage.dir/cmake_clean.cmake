@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperion_storage.dir/bptree.cc.o"
+  "CMakeFiles/hyperion_storage.dir/bptree.cc.o.d"
+  "CMakeFiles/hyperion_storage.dir/corfu.cc.o"
+  "CMakeFiles/hyperion_storage.dir/corfu.cc.o.d"
+  "CMakeFiles/hyperion_storage.dir/graph.cc.o"
+  "CMakeFiles/hyperion_storage.dir/graph.cc.o.d"
+  "CMakeFiles/hyperion_storage.dir/hash_index.cc.o"
+  "CMakeFiles/hyperion_storage.dir/hash_index.cc.o.d"
+  "CMakeFiles/hyperion_storage.dir/kv.cc.o"
+  "CMakeFiles/hyperion_storage.dir/kv.cc.o.d"
+  "CMakeFiles/hyperion_storage.dir/lsm.cc.o"
+  "CMakeFiles/hyperion_storage.dir/lsm.cc.o.d"
+  "CMakeFiles/hyperion_storage.dir/txn.cc.o"
+  "CMakeFiles/hyperion_storage.dir/txn.cc.o.d"
+  "libhyperion_storage.a"
+  "libhyperion_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperion_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ebpf_test.dir/ebpf_test.cc.o"
+  "CMakeFiles/ebpf_test.dir/ebpf_test.cc.o.d"
+  "ebpf_test"
+  "ebpf_test.pdb"
+  "ebpf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ebpf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
