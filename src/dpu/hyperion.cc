@@ -201,4 +201,10 @@ Status Hyperion::ChargeFabric(fpga::RegionId region, uint64_t cycles) {
   return Status::Ok();
 }
 
+void Hyperion::InstallFaultInjector(sim::FaultInjector* injector) {
+  nvme_->SetFaultInjector(injector);
+  dma_->SetFaultInjector(injector);
+  fabric_->SetFaultInjector(injector);
+}
+
 }  // namespace hyperion::dpu

@@ -116,6 +116,11 @@ class Hyperion {
   // Charges `cycles` of fabric datapath work (and its energy).
   Status ChargeFabric(fpga::RegionId region, uint64_t cycles);
 
+  // Wires `injector` into every on-board substrate with injection points
+  // (NVMe controller, PCIe DMA engine, FPGA fabric). Pass nullptr to
+  // detach. The injector must outlive its use by the DPU.
+  void InstallFaultInjector(sim::FaultInjector* injector);
+
  private:
   struct Accelerator {
     ebpf::Program program;

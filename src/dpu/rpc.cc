@@ -1,5 +1,7 @@
 #include "src/dpu/rpc.h"
 
+#include <algorithm>
+
 namespace hyperion::dpu {
 
 Bytes SerializeRequest(const RpcRequest& request) {
@@ -61,7 +63,16 @@ RpcResponse RpcServer::Dispatch(const RpcRequest& request) {
   return it->second(request.opcode, ByteSpan(request.payload.data(), request.payload.size()));
 }
 
-Result<RpcResponse> RpcClient::Call(const RpcRequest& request) {
+namespace {
+// Failure modes a fresh attempt can plausibly fix: a message that fell off
+// the wire or failed its checksum. Deterministic rejections (bad service,
+// exhausted transport-internal retries) surface immediately.
+bool Retryable(const Status& status) {
+  return status.code() == StatusCode::kUnavailable || status.code() == StatusCode::kDataLoss;
+}
+}  // namespace
+
+Result<RpcResponse> RpcClient::Attempt(const RpcRequest& request) {
   const Bytes wire_request = SerializeRequest(request);
   // Request flight.
   RETURN_IF_ERROR(transport_->Send(self_, server_, wire_request.size()).status());
@@ -69,11 +80,63 @@ Result<RpcResponse> RpcClient::Call(const RpcRequest& request) {
   RpcResponse response = peer_->Dispatch(request);
   // Response flight.
   const Bytes wire_response = SerializeResponse(response);
+  if (injector_ != nullptr && injector_->ShouldInject(sim::FaultSite::kRpcResponseDrop)) {
+    // The server executed but the response evaporated; the client cannot
+    // tell this apart from a lost request and must reissue.
+    return Unavailable("rpc response lost");
+  }
   RETURN_IF_ERROR(transport_->Send(server_, self_, wire_response.size()).status());
   // Model the decode round trip through the serializers for fidelity.
   ASSIGN_OR_RETURN(RpcResponse decoded,
                    ParseResponse(ByteSpan(wire_response.data(), wire_response.size())));
   return decoded;
+}
+
+Result<RpcResponse> RpcClient::Call(const RpcRequest& request) {
+  return CallWithDeadline(request, kNoDeadline);
+}
+
+Result<RpcResponse> RpcClient::CallWithDeadline(const RpcRequest& request,
+                                                sim::SimTime deadline) {
+  sim::Engine* engine = transport_->engine();
+  const uint32_t max_attempts = std::max<uint32_t>(1, policy_.max_attempts);
+  sim::Duration backoff = policy_.initial_backoff;
+  Status last_error = Unavailable("rpc not attempted");
+  for (uint32_t attempt = 0; attempt < max_attempts; ++attempt) {
+    if (engine->Now() >= deadline) {
+      counters_.Increment("rpc_deadline_exceeded");
+      return DeadlineExceeded("rpc deadline exceeded");
+    }
+    counters_.Increment("rpc_attempts");
+    Result<RpcResponse> result = Attempt(request);
+    if (result.ok()) {
+      if (attempt > 0) {
+        counters_.Increment("rpc_recoveries");
+      }
+      return result;
+    }
+    last_error = result.status();
+    if (!Retryable(last_error)) {
+      return last_error;
+    }
+    if (attempt + 1 == max_attempts) {
+      break;
+    }
+    // Exponential backoff, truncated at the deadline: sleeping past it
+    // would only discover the timeout later.
+    sim::Duration sleep = backoff;
+    if (deadline != kNoDeadline && engine->Now() < deadline) {
+      sleep = std::min<sim::Duration>(sleep, deadline - engine->Now());
+    }
+    engine->Advance(sleep);
+    counters_.Increment("rpc_retries");
+    counters_.Add("rpc_backoff_ns", sleep);
+    backoff = std::min<sim::Duration>(
+        policy_.max_backoff,
+        static_cast<sim::Duration>(static_cast<double>(backoff) * policy_.backoff_multiplier));
+  }
+  counters_.Increment("rpc_retries_exhausted");
+  return last_error;
 }
 
 }  // namespace hyperion::dpu

@@ -19,7 +19,9 @@
 #include "src/common/bytes.h"
 #include "src/common/result.h"
 #include "src/net/transport.h"
+#include "src/sim/fault.h"
 #include "src/sim/stats.h"
+#include "src/sim/time.h"
 
 namespace hyperion::dpu {
 
@@ -68,20 +70,61 @@ class RpcServer {
   sim::Counters counters_;
 };
 
+// Retry policy for client calls: transient failures (lost or corrupted
+// messages, dropped responses) are reissued after an exponential backoff.
+// The default is a single attempt — fail fast, exactly the pre-fault-
+// injection behaviour.
+struct RetryPolicy {
+  uint32_t max_attempts = 1;  // total attempts, including the first
+  sim::Duration initial_backoff = 50 * sim::kMicrosecond;
+  double backoff_multiplier = 2.0;
+  sim::Duration max_backoff = 10 * sim::kMillisecond;
+};
+
+// Absolute virtual-time deadline meaning "no deadline".
+inline constexpr sim::SimTime kNoDeadline = ~0ull;
+
 // Client stub: serializes, pays the transport both ways, and invokes the
-// server's dispatch at the far end.
+// server's dispatch at the far end. Recovery: transient transport errors
+// retry with exponential backoff under the configured policy; a deadline
+// bounds the whole call — the remaining budget is rechecked at every hop
+// boundary (before each attempt, before each backoff sleep) and truncates
+// the sleep, so a call can never outlive its deadline and never hangs.
 class RpcClient {
  public:
   RpcClient(net::Transport* transport, net::HostId self, net::HostId server, RpcServer* peer)
       : transport_(transport), self_(self), server_(server), peer_(peer) {}
 
+  void set_retry_policy(const RetryPolicy& policy) { policy_ = policy; }
+  const RetryPolicy& retry_policy() const { return policy_; }
+
+  // Hooks this client to a fault injector (null detaches). Injected fault:
+  // the server executes but its response is dropped — the at-least-once
+  // hazard every retry layer must tolerate.
+  void SetFaultInjector(sim::FaultInjector* injector) { injector_ = injector; }
+
+  // Calls under the configured retry policy with no deadline.
   Result<RpcResponse> Call(const RpcRequest& request);
 
+  // Deadline-aware call: kDeadlineExceeded once the virtual clock passes
+  // `deadline` (absolute virtual time).
+  Result<RpcResponse> CallWithDeadline(const RpcRequest& request, sim::SimTime deadline);
+
+  // Retry/recovery accounting: rpc_attempts, rpc_retries, rpc_backoff_ns,
+  // rpc_recoveries, rpc_retries_exhausted, rpc_deadline_exceeded.
+  const sim::Counters& counters() const { return counters_; }
+
  private:
+  // One wire exchange, no retry.
+  Result<RpcResponse> Attempt(const RpcRequest& request);
+
   net::Transport* transport_;
   net::HostId self_;
   net::HostId server_;
   RpcServer* peer_;
+  RetryPolicy policy_;
+  sim::FaultInjector* injector_ = nullptr;
+  sim::Counters counters_;
 };
 
 }  // namespace hyperion::dpu

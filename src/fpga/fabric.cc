@@ -5,7 +5,7 @@
 namespace hyperion::fpga {
 
 Fabric::Fabric(sim::Engine* engine, FabricConfig config)
-    : engine_(engine), config_(config), regions_(config.regions) {
+    : engine_(engine), config_(config), regions_(config.regions), failed_(config.regions, 0) {
   CHECK_GT(config_.regions, 0u);
   CHECK_GT(config_.icap_mbps, 0.0);
 }
@@ -25,12 +25,41 @@ Result<sim::Duration> Fabric::Reconfigure(RegionId region, Bitstream bitstream) 
   if (bitstream.fmax_mhz <= 0.0) {
     return InvalidArgument("bitstream must declare a positive Fmax");
   }
+  if (failed_[region]) {
+    return Unavailable("region marked failed; repair it first");
+  }
   const sim::Duration latency = ReconfigLatency(bitstream.size_bytes);
+  if (injector_ != nullptr && injector_->ShouldInject(sim::FaultSite::kFpgaReconfigFail)) {
+    // The ICAP stream aborts partway: some frames of the previous design
+    // are already overwritten, so the slot holds neither design and must be
+    // scrubbed before it can be used again.
+    engine_->Advance(latency / 2);
+    regions_[region].reset();
+    failed_[region] = 1;
+    counters_.Increment("reconfig_failures");
+    return Unavailable("partial reconfiguration aborted");
+  }
   engine_->Advance(latency);
   regions_[region] = std::move(bitstream);
   reconfig_hist_.Record(latency);
   counters_.Increment("reconfigurations");
   return latency;
+}
+
+bool Fabric::IsFailed(RegionId region) const {
+  return region < failed_.size() && failed_[region] != 0;
+}
+
+Status Fabric::Repair(RegionId region) {
+  if (region >= failed_.size()) {
+    return InvalidArgument("no such region");
+  }
+  if (!failed_[region]) {
+    return InvalidArgument("region is not failed");
+  }
+  failed_[region] = 0;
+  counters_.Increment("region_repairs");
+  return Status::Ok();
 }
 
 Status Fabric::Clear(RegionId region) {

@@ -20,6 +20,7 @@
 
 #include "src/common/result.h"
 #include "src/sim/engine.h"
+#include "src/sim/fault.h"
 #include "src/sim/stats.h"
 
 namespace hyperion::fpga {
@@ -70,6 +71,19 @@ class Fabric {
   // Pure model of the reconfiguration latency for a bitstream size.
   sim::Duration ReconfigLatency(uint64_t bitstream_bytes) const;
 
+  // -- Fault injection & recovery -------------------------------------------
+
+  // Hooks this fabric to a fault injector (null detaches). Injected fault:
+  // a partial reconfiguration that aborts mid-bitstream, leaving the region
+  // failed (unusable) until Repair() — the scheduler migrates around it.
+  void SetFaultInjector(sim::FaultInjector* injector) { injector_ = injector; }
+
+  // True when the region took a reconfiguration fault and was not repaired.
+  bool IsFailed(RegionId region) const;
+
+  // Returns a failed region to service (models a shell-level slot scrub).
+  Status Repair(RegionId region);
+
   const sim::Histogram& reconfig_latencies() const { return reconfig_hist_; }
   const sim::Counters& counters() const { return counters_; }
 
@@ -77,6 +91,8 @@ class Fabric {
   sim::Engine* engine_;
   FabricConfig config_;
   std::vector<std::optional<Bitstream>> regions_;
+  std::vector<uint8_t> failed_;
+  sim::FaultInjector* injector_ = nullptr;
   sim::Histogram reconfig_hist_;
   sim::Counters counters_;
 };

@@ -19,33 +19,53 @@ Result<SlotScheduler::Placement> SlotScheduler::Acquire(const Bitstream& bitstre
     }
   }
   ++misses_;
-  // 2. A free (never-configured) region?
-  for (RegionId r = 0; r < state_.size(); ++r) {
-    if (!fabric_->IsLoaded(r) && state_[r].pins == 0) {
-      ASSIGN_OR_RETURN(sim::Duration latency, fabric_->Reconfigure(r, bitstream));
-      ++state_[r].pins;
-      state_[r].last_used = engine_->Now();
-      return Placement{r, true, latency};
+  // 2./3. Candidate loop: free regions first, then LRU eviction order. A
+  // reconfiguration that fails marks the slot bad in the fabric; the
+  // request migrates to the next candidate instead of surfacing the fault.
+  std::vector<uint8_t> tried(state_.size(), 0);
+  for (;;) {
+    RegionId candidate = kNoTenant;
+    bool evicting = false;
+    // A free (never-configured, healthy) region?
+    for (RegionId r = 0; r < state_.size(); ++r) {
+      if (!tried[r] && !fabric_->IsLoaded(r) && !fabric_->IsFailed(r) && state_[r].pins == 0) {
+        candidate = r;
+        break;
+      }
     }
-  }
-  // 3. Evict the LRU unpinned region.
-  RegionId victim = kNoTenant;
-  for (RegionId r = 0; r < state_.size(); ++r) {
-    if (state_[r].pins != 0) {
-      continue;
+    // Otherwise the LRU unpinned healthy region.
+    if (candidate == kNoTenant) {
+      for (RegionId r = 0; r < state_.size(); ++r) {
+        if (tried[r] || state_[r].pins != 0 || fabric_->IsFailed(r)) {
+          continue;
+        }
+        if (candidate == kNoTenant || state_[r].last_used < state_[candidate].last_used) {
+          candidate = r;
+        }
+      }
+      evicting = candidate != kNoTenant && fabric_->IsLoaded(candidate);
     }
-    if (victim == kNoTenant || state_[r].last_used < state_[victim].last_used) {
-      victim = r;
+    if (candidate == kNoTenant) {
+      return ResourceExhausted("all regions pinned or failed");
     }
+    tried[candidate] = 1;
+    Result<sim::Duration> latency = fabric_->Reconfigure(candidate, bitstream);
+    if (!latency.ok()) {
+      if (latency.status().code() == StatusCode::kUnavailable) {
+        // The slot failed under us; reschedule onto another region.
+        ++migrations_;
+        counters_.Increment("slot_migrations");
+        continue;
+      }
+      return latency.status();
+    }
+    if (evicting) {
+      ++evictions_;
+    }
+    ++state_[candidate].pins;
+    state_[candidate].last_used = engine_->Now();
+    return Placement{candidate, true, *latency};
   }
-  if (victim == kNoTenant) {
-    return ResourceExhausted("all regions pinned");
-  }
-  ++evictions_;
-  ASSIGN_OR_RETURN(sim::Duration latency, fabric_->Reconfigure(victim, bitstream));
-  ++state_[victim].pins;
-  state_[victim].last_used = engine_->Now();
-  return Placement{victim, true, latency};
 }
 
 Status SlotScheduler::Release(RegionId region) {

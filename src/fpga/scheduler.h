@@ -30,8 +30,11 @@ class SlotScheduler {
     sim::Duration reconfig_latency = 0;
   };
 
-  // Makes `bitstream` resident somewhere and pins the region.
-  // kResourceExhausted when every region is pinned by other work.
+  // Makes `bitstream` resident somewhere and pins the region. A candidate
+  // region whose reconfiguration fails (an injected slot fault) is skipped
+  // and the request migrates to the next healthy region — graceful
+  // degradation instead of a hard error. kResourceExhausted when every
+  // region is pinned by other work or failed.
   Result<Placement> Acquire(const Bitstream& bitstream);
 
   // Unpins a region previously returned by Acquire.
@@ -40,6 +43,10 @@ class SlotScheduler {
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
   uint64_t evictions() const { return evictions_; }
+  // Times an Acquire moved on after a candidate slot failed under it.
+  uint64_t migrations() const { return migrations_; }
+
+  const sim::Counters& counters() const { return counters_; }
 
  private:
   struct RegionState {
@@ -53,6 +60,8 @@ class SlotScheduler {
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
   uint64_t evictions_ = 0;
+  uint64_t migrations_ = 0;
+  sim::Counters counters_;
 };
 
 }  // namespace hyperion::fpga

@@ -43,11 +43,17 @@ class UdpTransport : public Transport {
 
   Result<sim::Duration> Send(HostId src, HostId dst, uint64_t bytes) override {
     fabric_->engine()->Advance(params_.sender_sw_overhead);
-    if (rng_->Bernoulli(params_.loss_probability)) {
+    if (rng_->Bernoulli(params_.loss_probability) || InjectFault(sim::FaultSite::kNetLoss)) {
       // The datagram evaporates; the sender has already paid its software
       // cost. UDP gives no feedback, so the model surfaces loss directly.
       fabric_->Deliver(src, dst, 0).status();  // still occupies the wire path
       return Unavailable("datagram lost");
+    }
+    if (InjectFault(sim::FaultSite::kNetCorrupt)) {
+      // Delivered, but the receiver's checksum rejects it: the full wire
+      // cost is paid and the payload is discarded.
+      RETURN_IF_ERROR(fabric_->Deliver(src, dst, bytes + HeaderBytes(kind())).status());
+      return Unavailable("datagram corrupted");
     }
     ASSIGN_OR_RETURN(sim::Duration wire,
                      fabric_->Deliver(src, dst, bytes + HeaderBytes(kind())));
@@ -89,7 +95,12 @@ class TcpTransport : public Transport {
     ASSIGN_OR_RETURN(sim::Duration rtt, fabric_->Rtt(src, dst));
     const sim::Duration rto = std::max<sim::Duration>(3 * rtt, 200 * sim::kMicrosecond);
     for (int attempt = 0; attempt < 64; ++attempt) {
-      if (!rng_->Bernoulli(params_.loss_probability)) {
+      // Injected wire loss and checksum corruption both cost a
+      // retransmission round — TCP absorbs them identically.
+      const bool delivered = !rng_->Bernoulli(params_.loss_probability) &&
+                             !InjectFault(sim::FaultSite::kNetLoss) &&
+                             !InjectFault(sim::FaultSite::kNetCorrupt);
+      if (delivered) {
         ASSIGN_OR_RETURN(sim::Duration wire,
                          fabric_->Deliver(src, dst, bytes + HeaderBytes(kind())));
         // Delayed-ACK-free model: the ACK rides back immediately.

@@ -24,6 +24,7 @@
 #include "src/common/result.h"
 #include "src/common/rng.h"
 #include "src/net/fabric.h"
+#include "src/sim/fault.h"
 
 namespace hyperion::net {
 
@@ -42,6 +43,13 @@ struct TransportParams {
   // downlink, and the unscheduled window.
   double homa_load = 0.0;
   uint64_t homa_unscheduled_bytes = 64 * 1024;
+  // Optional deterministic fault source (see sim/fault.h), additional to
+  // the probabilistic loss_probability model. kNetLoss drops a message on
+  // the wire; kNetCorrupt delivers it but fails the receiver's checksum.
+  // Applies to UDP (surfaces to the caller) and TCP (absorbed by
+  // retransmission). RDMA is lossless by contract and Homa's reliability
+  // is receiver-driven; neither consults the injector.
+  sim::FaultInjector* fault_injector = nullptr;
 };
 
 class Transport {
@@ -61,9 +69,19 @@ class Transport {
   virtual Result<sim::Duration> RoundTrip(HostId src, HostId dst, uint64_t request_bytes,
                                           uint64_t response_bytes) = 0;
 
+  // The shared virtual clock this transport charges (for callers layering
+  // their own timers/backoff on top, e.g. the RPC retry loop).
+  sim::Engine* engine() { return fabric_->engine(); }
+
  protected:
   Transport(Fabric* fabric, Rng* rng, TransportParams params)
       : fabric_(fabric), rng_(rng), params_(params) {}
+
+  // True when the configured plan injects a fault at `site`; false (and
+  // free) without an injector.
+  bool InjectFault(sim::FaultSite site) {
+    return params_.fault_injector != nullptr && params_.fault_injector->ShouldInject(site);
+  }
 
   Fabric* fabric_;
   Rng* rng_;

@@ -27,7 +27,15 @@ enum class CmdStatus : uint8_t {
   kInvalidField = 0x2,
   kLbaOutOfRange = 0x80,
   kInternalError = 0x6,
+  kAbortedByTimeout = 0x7,   // host watchdog expired and aborted the command
+  kMediaError = 0x81,        // unrecovered media error (ECC exhausted)
 };
+
+// Transient statuses are worth reissuing with a fresh command; the rest are
+// deterministic rejections that would fail identically on retry.
+constexpr bool IsTransient(CmdStatus status) {
+  return status == CmdStatus::kAbortedByTimeout || status == CmdStatus::kMediaError;
+}
 
 struct Command {
   uint16_t cid = 0;       // command identifier, echoed in the completion

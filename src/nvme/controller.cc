@@ -53,9 +53,23 @@ Completion Controller::Execute(const Command& cmd) {
         cqe.status = CmdStatus::kLbaOutOfRange;
         return cqe;
       }
+      if (injector_ != nullptr && injector_->ShouldInject(sim::FaultSite::kNvmeCmdTimeout)) {
+        // The command hangs at the device; the host-side watchdog expires
+        // and posts an abort completion after the full timeout.
+        engine_->Advance(command_timeout_);
+        counters_.Add("nvme_cmd_timeouts", 1);
+        cqe.status = CmdStatus::kAbortedByTimeout;
+        return cqe;
+      }
       const sim::Duration t = ns->ServiceTime(cmd.slba, blocks, /*is_write=*/false,
                                               engine_->Now());
       engine_->Advance(t);
+      if (injector_ != nullptr && injector_->ShouldInject(sim::FaultSite::kNvmeReadError)) {
+        // The media paid the access cost but ECC could not recover the page.
+        counters_.Add("nvme_media_errors", 1);
+        cqe.status = CmdStatus::kMediaError;
+        return cqe;
+      }
       cqe.data.resize(static_cast<size_t>(blocks) * kLbaSize);
       for (uint32_t i = 0; i < blocks; ++i) {
         CHECK_OK(ns->ReadBlock(cmd.slba + i,
@@ -74,6 +88,12 @@ Completion Controller::Execute(const Command& cmd) {
       }
       if (cmd.data.size() != static_cast<size_t>(blocks) * kLbaSize) {
         cqe.status = CmdStatus::kInvalidField;
+        return cqe;
+      }
+      if (injector_ != nullptr && injector_->ShouldInject(sim::FaultSite::kNvmeCmdTimeout)) {
+        engine_->Advance(command_timeout_);
+        counters_.Add("nvme_cmd_timeouts", 1);
+        cqe.status = CmdStatus::kAbortedByTimeout;
         return cqe;
       }
       const sim::Duration t = ns->ServiceTime(cmd.slba, blocks, /*is_write=*/true,
@@ -131,6 +151,27 @@ std::optional<Completion> Controller::Reap(uint16_t qid) {
   return queues_[qid - 1]->cq.Reap();
 }
 
+Completion Controller::ExecuteWithRetry(Command cmd) {
+  for (uint32_t attempt = 0;; ++attempt) {
+    Completion cqe = Execute(cmd);
+    if (cqe.status == CmdStatus::kSuccess) {
+      if (attempt > 0) {
+        counters_.Add("nvme_retry_recoveries", 1);
+      }
+      return cqe;
+    }
+    if (!IsTransient(cqe.status) || attempt >= retry_limit_) {
+      if (IsTransient(cqe.status)) {
+        counters_.Add("nvme_retries_exhausted", 1);
+      }
+      return cqe;
+    }
+    // Reissue with a fresh command identifier, per the spec's abort flow.
+    counters_.Add("nvme_retries", 1);
+    cmd.cid = next_cid_++;
+  }
+}
+
 Result<Bytes> Controller::Read(uint32_t nsid, uint64_t slba, uint32_t block_count) {
   if (block_count == 0) {
     return InvalidArgument("zero-length read");
@@ -141,8 +182,11 @@ Result<Bytes> Controller::Read(uint32_t nsid, uint64_t slba, uint32_t block_coun
   cmd.nsid = nsid;
   cmd.slba = slba;
   cmd.nlb = block_count - 1;
-  Completion cqe = Execute(cmd);
+  Completion cqe = ExecuteWithRetry(std::move(cmd));
   if (cqe.status != CmdStatus::kSuccess) {
+    if (IsTransient(cqe.status)) {
+      return DataLoss("NVMe read failed after retries");
+    }
     return OutOfRange("NVMe read failed");
   }
   return std::move(cqe.data);
@@ -159,8 +203,11 @@ Status Controller::Write(uint32_t nsid, uint64_t slba, ByteSpan data) {
   cmd.slba = slba;
   cmd.nlb = static_cast<uint32_t>(data.size() / kLbaSize) - 1;
   cmd.data.assign(data.begin(), data.end());
-  Completion cqe = Execute(cmd);
+  Completion cqe = ExecuteWithRetry(std::move(cmd));
   if (cqe.status != CmdStatus::kSuccess) {
+    if (IsTransient(cqe.status)) {
+      return DataLoss("NVMe write failed after retries");
+    }
     return OutOfRange("NVMe write failed");
   }
   return Status::Ok();

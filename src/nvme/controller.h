@@ -18,6 +18,7 @@
 #include "src/nvme/flash.h"
 #include "src/nvme/queue.h"
 #include "src/sim/engine.h"
+#include "src/sim/fault.h"
 #include "src/sim/stats.h"
 
 namespace hyperion::nvme {
@@ -59,16 +60,40 @@ class Controller {
   Status Write(uint32_t nsid, uint64_t slba, ByteSpan data);  // data = N * kLbaSize
   Status Flush(uint32_t nsid);
 
+  // -- Fault injection & recovery -------------------------------------------
+
+  // Hooks this controller to a fault injector (null detaches). Injected
+  // faults: unrecovered media read errors and command timeouts. Queue-pair
+  // consumers see the raw spec-shaped completion status; the synchronous
+  // facade reissues transient failures up to the retry budget.
+  void SetFaultInjector(sim::FaultInjector* injector) { injector_ = injector; }
+
+  // Bounded reissue budget for the synchronous facade (reissues, not total
+  // attempts: 3 means up to 4 submissions of the same command).
+  void SetRetryLimit(uint32_t retries) { retry_limit_ = retries; }
+  uint32_t retry_limit() const { return retry_limit_; }
+
+  // Host-side watchdog: how long an injected command hang costs before the
+  // abort completion is posted.
+  void SetCommandTimeout(sim::Duration timeout) { command_timeout_ = timeout; }
+  sim::Duration command_timeout() const { return command_timeout_; }
+
   const sim::Counters& counters() const { return counters_; }
 
  private:
   Completion Execute(const Command& cmd);
   FlashDevice* GetNamespace(uint32_t nsid);
+  // Executes `cmd` and reissues it (fresh cid) on transient failure until
+  // it succeeds, fails deterministically, or exhausts the retry budget.
+  Completion ExecuteWithRetry(Command cmd);
 
   sim::Engine* engine_;
   std::vector<std::unique_ptr<FlashDevice>> namespaces_;
   std::vector<std::unique_ptr<QueuePair>> queues_;
   uint16_t next_cid_ = 1;
+  sim::FaultInjector* injector_ = nullptr;
+  uint32_t retry_limit_ = 3;
+  sim::Duration command_timeout_ = 5 * sim::kMillisecond;
   sim::Counters counters_;
 };
 

@@ -14,14 +14,26 @@
 #include "src/common/result.h"
 #include "src/pcie/topology.h"
 #include "src/sim/engine.h"
+#include "src/sim/fault.h"
 #include "src/sim/stats.h"
 
 namespace hyperion::pcie {
 
 class DmaEngine {
  public:
+  // LTSSM Recovery: a dropped link retrains and the data-link layer replays
+  // outstanding TLPs, so a transfer survives a drop with added latency.
+  static constexpr sim::Duration kRetrainLatency = 20 * sim::kMicrosecond;
+  // Consecutive failed retrains before the link is declared down and the
+  // transfer surfaces kUnavailable to the caller.
+  static constexpr int kMaxRetrains = 8;
+
   DmaEngine(sim::Engine* engine, const Topology* topology)
       : engine_(engine), topology_(topology) {}
+
+  // Hooks this engine to a fault injector (null detaches). Injected fault:
+  // link drops, absorbed by retrain + replay up to kMaxRetrains.
+  void SetFaultInjector(sim::FaultInjector* injector) { injector_ = injector; }
 
   // Synchronous transfer of `bytes` from node `src` to node `dst`:
   // advances virtual time by the modelled latency and returns it.
@@ -40,6 +52,7 @@ class DmaEngine {
 
   sim::Engine* engine_;
   const Topology* topology_;
+  sim::FaultInjector* injector_ = nullptr;
   sim::Counters counters_;
 };
 

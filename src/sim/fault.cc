@@ -1,0 +1,76 @@
+#include "src/sim/fault.h"
+
+#include <string>
+
+#include "src/common/check.h"
+
+namespace hyperion::sim {
+
+std::string_view FaultSiteName(FaultSite site) {
+  switch (site) {
+    case FaultSite::kNvmeReadError:
+      return "nvme_read_error";
+    case FaultSite::kNvmeCmdTimeout:
+      return "nvme_cmd_timeout";
+    case FaultSite::kPcieLinkDrop:
+      return "pcie_link_drop";
+    case FaultSite::kFpgaReconfigFail:
+      return "fpga_reconfig_fail";
+    case FaultSite::kNetLoss:
+      return "net_loss";
+    case FaultSite::kNetCorrupt:
+      return "net_corrupt";
+    case FaultSite::kRpcResponseDrop:
+      return "rpc_response_drop";
+  }
+  return "?";
+}
+
+FaultInjector::FaultInjector(Engine* engine, FaultPlan plan, uint64_t seed) : engine_(engine) {
+  CHECK(engine != nullptr);
+  rules_.reserve(plan.rules().size());
+  for (const FaultRule& rule : plan.rules()) {
+    DCHECK_GE(rule.probability, 0.0);
+    DCHECK_LE(rule.probability, 1.0);
+    const auto index = static_cast<uint32_t>(rules_.size());
+    // Distinct splitmix-spread stream per rule: decisions at one site can
+    // never perturb the sequence another site (or the workload) observes.
+    rules_.push_back(RuleState{rule, Rng(seed + 0xd1b54a32d192ed03ull * (index + 1)), 0});
+    by_site_[static_cast<size_t>(rule.site)].push_back(index);
+  }
+}
+
+bool FaultInjector::ShouldInject(FaultSite site) {
+  const std::vector<uint32_t>& candidates = by_site_[static_cast<size_t>(site)];
+  if (candidates.empty()) {
+    return false;  // idle fast path: no draw, no counter, no allocation
+  }
+  const SimTime now = engine_->Now();
+  for (uint32_t index : candidates) {
+    RuleState& state = rules_[index];
+    if (now < state.rule.active_from || now >= state.rule.active_until) {
+      continue;
+    }
+    if (state.injected >= state.rule.max_faults) {
+      continue;
+    }
+    if (!state.rng.Bernoulli(state.rule.probability)) {
+      continue;
+    }
+    ++state.injected;
+    ++injected_by_site_[static_cast<size_t>(site)];
+    counters_.Add("fault_" + std::string(FaultSiteName(site)), 1);
+    return true;
+  }
+  return false;
+}
+
+uint64_t FaultInjector::TotalInjected() const {
+  uint64_t total = 0;
+  for (uint64_t n : injected_by_site_) {
+    total += n;
+  }
+  return total;
+}
+
+}  // namespace hyperion::sim

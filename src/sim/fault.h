@@ -1,0 +1,134 @@
+// Deterministic fault injection for the Hyperion simulation.
+//
+// A CPU-free DPU is self-hosting: there is no OS underneath to catch a
+// misbehaving device, so failures must be absorbed by the data path itself
+// (the same accept-then-trap argument the verifier property tests encode).
+// This module gives every substrate a single, seeded source of failures so
+// that recovery logic — NVMe command reissue, PCIe link retrain/replay,
+// RPC retry with backoff, FPGA slot migration — can be exercised and
+// regression-tested bit-stably.
+//
+// A FaultPlan is a declarative list of rules: at injection site S, fail
+// with probability p, within a virtual-time window, at most N times. A
+// FaultInjector evaluates the plan against the Engine clock. Determinism
+// properties:
+//
+//   * Each rule owns its own Rng stream (derived from the plan seed and the
+//     rule's position), so fault decisions at one site never perturb the
+//     random sequence observed at another, and never perturb workload RNGs.
+//   * Decisions depend only on the query order at a site, which is itself
+//     deterministic in the single-threaded simulation.
+//   * A site with no rule returns false after one array load: no RNG draw,
+//     no counter update. A run with an empty (or never-matching) plan is
+//     therefore byte-identical to a run with no injector at all.
+
+#ifndef HYPERION_SRC_SIM_FAULT_H_
+#define HYPERION_SRC_SIM_FAULT_H_
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/sim/engine.h"
+#include "src/sim/stats.h"
+#include "src/sim/time.h"
+
+namespace hyperion::sim {
+
+// Well-defined injection points, one per failure mode a subsystem models.
+enum class FaultSite : uint8_t {
+  kNvmeReadError = 0,   // media paid the access but ECC could not recover
+  kNvmeCmdTimeout,      // command hangs at the device; watchdog aborts it
+  kPcieLinkDrop,        // link drops to Recovery; TLPs replay after retrain
+  kFpgaReconfigFail,    // partial reconfiguration aborts; the slot is bad
+  kNetLoss,             // one-way message lost on the wire
+  kNetCorrupt,          // delivered, but fails its checksum at the receiver
+  kRpcResponseDrop,     // server executed, response evaporated
+};
+inline constexpr size_t kFaultSiteCount = 7;
+
+// Stable lower_snake name ("nvme_read_error", ...), used for counter keys.
+std::string_view FaultSiteName(FaultSite site);
+
+struct FaultRule {
+  static constexpr SimTime kNoEnd = ~0ull;
+  static constexpr uint64_t kUnlimited = ~0ull;
+
+  FaultSite site = FaultSite::kNetLoss;
+  double probability = 0.0;        // per query at the site
+  SimTime active_from = 0;         // window on the virtual clock,
+  SimTime active_until = kNoEnd;   // [active_from, active_until)
+  uint64_t max_faults = kUnlimited;  // injection budget for this rule
+};
+
+// Declarative fault schedule. Value type; build one, hand it to an injector.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  FaultPlan& Add(const FaultRule& rule) {
+    rules_.push_back(rule);
+    return *this;
+  }
+
+  // The next `count` queries at `site` inject (a deterministic burst).
+  FaultPlan& Always(FaultSite site, uint64_t count = FaultRule::kUnlimited) {
+    return Add(FaultRule{site, 1.0, 0, FaultRule::kNoEnd, count});
+  }
+
+  // Every query at `site` injects independently with probability `p`.
+  FaultPlan& WithProbability(FaultSite site, double p) {
+    return Add(FaultRule{site, p, 0, FaultRule::kNoEnd, FaultRule::kUnlimited});
+  }
+
+  bool empty() const { return rules_.empty(); }
+  const std::vector<FaultRule>& rules() const { return rules_; }
+
+ private:
+  std::vector<FaultRule> rules_;
+};
+
+// Evaluates a FaultPlan on the shared virtual clock. Subsystems hold a
+// (possibly null) pointer to one injector and query it at their injection
+// points; every injected fault increments `counters()` under the key
+// "fault_<site>", so experiments can report fault accounting alongside
+// latency.
+class FaultInjector {
+ public:
+  FaultInjector(Engine* engine, FaultPlan plan, uint64_t seed = 0x5eed);
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Hot-path query: true when some active rule fires. Consumes one draw
+  // from each matching in-window rule until one fires; sites without rules
+  // cost one array load and touch no state.
+  bool ShouldInject(FaultSite site);
+
+  // Total faults injected at `site` so far.
+  uint64_t InjectedCount(FaultSite site) const {
+    return injected_by_site_[static_cast<size_t>(site)];
+  }
+  uint64_t TotalInjected() const;
+
+  const Counters& counters() const { return counters_; }
+
+ private:
+  struct RuleState {
+    FaultRule rule;
+    Rng rng;
+    uint64_t injected = 0;
+  };
+
+  Engine* engine_;
+  std::vector<RuleState> rules_;
+  // Per-site rule indices; an empty list is the idle fast path.
+  std::array<std::vector<uint32_t>, kFaultSiteCount> by_site_;
+  std::array<uint64_t, kFaultSiteCount> injected_by_site_{};
+  Counters counters_;
+};
+
+}  // namespace hyperion::sim
+
+#endif  // HYPERION_SRC_SIM_FAULT_H_

@@ -11,7 +11,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <functional>
 #include <map>
+#include <vector>
 
 #include "src/common/rng.h"
 #include "src/ebpf/insn.h"
@@ -20,6 +23,7 @@
 #include "src/fs/extfs.h"
 #include "src/net/transport.h"
 #include "src/nvme/controller.h"
+#include "src/sim/stats.h"
 
 namespace hyperion {
 namespace {
@@ -267,6 +271,109 @@ TEST(FsPropertyTest, RandomOpsMatchReferenceModel) {
     auto got = fs->ReadFile(inodes.at(path), 0, ref.size());
     ASSERT_TRUE(got.ok()) << path;
     EXPECT_EQ(*got, ref) << path;
+  }
+}
+
+// -- Histogram quantile error bound ---------------------------------------
+
+// The HdrHistogram-style log-bucketed layout (5 sub-bucket bits => 32
+// sub-buckets per octave) promises: Percentile(q) is an *upper bound* on
+// the exact sample quantile, within 1/32 ~= 3.125% relative error. Checked
+// against a sorted copy of the raw samples under several adversarial
+// sample distributions.
+constexpr double kHistTolerance = 0.0325;
+
+uint64_t ExactQuantile(const std::vector<uint64_t>& sorted, double q) {
+  const uint64_t target = std::max<uint64_t>(
+      1, static_cast<uint64_t>(q * static_cast<double>(sorted.size()) + 0.5));
+  return sorted[target - 1];
+}
+
+TEST(HistogramProperty, PercentileIsBoundedUpperEstimate) {
+  Rng rng(2024);
+  // Distributions chosen to stress both the exact (<32) range and wide
+  // multi-octave spreads with heavy tails.
+  const auto distributions = std::vector<std::function<uint64_t()>>{
+      [&] { return rng.Uniform(20); },                         // all-exact range
+      [&] { return rng.Uniform(1'000'000); },                  // flat, wide
+      [&] { return uint64_t{1} << rng.Uniform(40); },          // octave edges
+      [&] { return 50 + rng.Uniform(10); },                    // tight cluster
+      [&] { return rng.Bernoulli(0.99) ? rng.Uniform(100) : rng.Uniform(1'000'000'000); },
+  };
+  const double quantiles[] = {0.0, 0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0};
+  for (size_t d = 0; d < distributions.size(); ++d) {
+    sim::Histogram hist;
+    std::vector<uint64_t> samples;
+    for (int i = 0; i < 5000; ++i) {
+      const uint64_t v = distributions[d]();
+      hist.Record(v);
+      samples.push_back(v);
+    }
+    std::sort(samples.begin(), samples.end());
+    for (const double q : quantiles) {
+      const uint64_t exact = ExactQuantile(samples, q);
+      const uint64_t claimed = hist.Percentile(q);
+      EXPECT_GE(claimed, exact) << "dist " << d << " q=" << q;
+      const auto bound = static_cast<uint64_t>(
+          static_cast<double>(exact) * (1.0 + kHistTolerance));
+      EXPECT_LE(claimed, std::max(exact, bound)) << "dist " << d << " q=" << q;
+      // Range sanity: every quantile estimate sits inside [min, max].
+      EXPECT_GE(claimed, hist.min()) << "dist " << d << " q=" << q;
+      EXPECT_LE(claimed, hist.max()) << "dist " << d << " q=" << q;
+    }
+  }
+}
+
+TEST(HistogramProperty, EmptyHistogramIsAllZero) {
+  sim::Histogram hist;
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_EQ(hist.min(), 0u);
+  EXPECT_EQ(hist.max(), 0u);
+  EXPECT_EQ(hist.Percentile(0.0), 0u);
+  EXPECT_EQ(hist.Percentile(0.5), 0u);
+  EXPECT_EQ(hist.Percentile(1.0), 0u);
+}
+
+TEST(HistogramProperty, SingleSampleDominatesEveryQuantile) {
+  for (const uint64_t v : {0ull, 1ull, 31ull, 32ull, 1000ull, 123'456'789ull}) {
+    sim::Histogram hist;
+    hist.Record(v);
+    for (const double q : {0.0, 0.5, 1.0}) {
+      const uint64_t claimed = hist.Percentile(q);
+      EXPECT_GE(claimed, v) << "v=" << v << " q=" << q;
+      EXPECT_LE(claimed, hist.max()) << "v=" << v << " q=" << q;
+    }
+    // With one sample, max() is exact and q=1 must return it exactly.
+    EXPECT_EQ(hist.Percentile(1.0), v);
+    EXPECT_EQ(hist.min(), v);
+    EXPECT_EQ(hist.max(), v);
+  }
+}
+
+TEST(HistogramProperty, ExtremeQuantilesMeetMinMax) {
+  Rng rng(7);
+  sim::Histogram hist;
+  for (int i = 0; i < 1000; ++i) {
+    hist.Record(rng.Uniform(1'000'000));
+  }
+  // q=1 is clamped to the exactly-tracked max; q=0 is an upper bound on
+  // the min that stays within the bucket error.
+  EXPECT_EQ(hist.Percentile(1.0), hist.max());
+  EXPECT_GE(hist.Percentile(0.0), hist.min());
+  EXPECT_LE(static_cast<double>(hist.Percentile(0.0)),
+            static_cast<double>(hist.min()) * (1.0 + kHistTolerance));
+}
+
+TEST(HistogramProperty, ValuesBelowSubBucketRangeAreExact) {
+  // Values < 32 land in unit-width buckets: quantiles are exact there.
+  sim::Histogram hist;
+  for (uint64_t v = 0; v < 32; ++v) {
+    hist.Record(v);
+  }
+  std::vector<uint64_t> sorted(32);
+  for (uint64_t v = 0; v < 32; ++v) sorted[v] = v;
+  for (const double q : {0.1, 0.5, 0.9, 1.0}) {
+    EXPECT_EQ(hist.Percentile(q), ExactQuantile(sorted, q)) << "q=" << q;
   }
 }
 
