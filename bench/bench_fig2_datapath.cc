@@ -99,6 +99,11 @@ void BM_Fig2Datapath(benchmark::State& state) {
   }
   state.counters["sim_put_us"] = sim::ToMicros(put_total) / static_cast<double>(ops);
   state.counters["sim_get_us"] = sim::ToMicros(get_total) / static_cast<double>(ops);
+  // Bytes memcpy'd through the Buffer layer per request (serialize + store
+  // + parse); the zero-copy datapath's figure of merit.
+  state.counters["copy_bytes_per_req"] =
+      static_cast<double>(setup.rpc->counters().Get("copy_bytes")) /
+      static_cast<double>(2 * ops);
   state.SetLabel(std::string(net::TransportKindName(kind)));
 }
 
@@ -140,6 +145,9 @@ void BM_Fig2Block(benchmark::State& state) {
   }
   state.counters["sim_write_us"] = sim::ToMicros(write_total) / static_cast<double>(ops);
   state.counters["sim_read_us"] = sim::ToMicros(read_total) / static_cast<double>(ops);
+  state.counters["copy_bytes_per_req"] =
+      static_cast<double>(setup.rpc->counters().Get("copy_bytes")) /
+      static_cast<double>(2 * ops);
   state.SetLabel(std::string(net::TransportKindName(kind)) + "/nvmeof_block");
 }
 

@@ -6,6 +6,7 @@
 #ifndef HYPERION_SRC_COMMON_BYTES_H_
 #define HYPERION_SRC_COMMON_BYTES_H_
 
+#include <bit>
 #include <cstdint>
 #include <cstring>
 #include <span>
@@ -21,23 +22,47 @@ using ByteSpan = std::span<const uint8_t>;
 using MutableByteSpan = std::span<uint8_t>;
 
 // -- Little-endian fixed-width append/read ---------------------------------
+//
+// Encode/decode are single memcpys on little-endian targets (every platform
+// we build for); the shift loops remain as the big-endian fallback so the
+// wire layout stays endian-stable.
 
-inline void PutU16(Bytes& out, uint16_t v) {
-  out.push_back(static_cast<uint8_t>(v));
-  out.push_back(static_cast<uint8_t>(v >> 8));
-}
+namespace internal {
 
-inline void PutU32(Bytes& out, uint32_t v) {
-  for (int i = 0; i < 4; ++i) {
-    out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+template <typename T>
+inline void PutLittleEndian(Bytes& out, T v) {
+  const size_t at = out.size();
+  out.resize(at + sizeof(T));
+  if constexpr (std::endian::native == std::endian::little) {
+    std::memcpy(out.data() + at, &v, sizeof(T));
+  } else {
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      out[at + i] = static_cast<uint8_t>(v >> (8 * i));
+    }
   }
 }
 
-inline void PutU64(Bytes& out, uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+template <typename T>
+inline T GetLittleEndian(ByteSpan in, size_t offset) {
+  DCHECK_LE(offset + sizeof(T), in.size());
+  if constexpr (std::endian::native == std::endian::little) {
+    T v;
+    std::memcpy(&v, in.data() + offset, sizeof(T));
+    return v;
+  } else {
+    T v = 0;
+    for (size_t i = sizeof(T); i-- > 0;) {
+      v = static_cast<T>((v << 8) | in[offset + i]);
+    }
+    return v;
   }
 }
+
+}  // namespace internal
+
+inline void PutU16(Bytes& out, uint16_t v) { internal::PutLittleEndian(out, v); }
+inline void PutU32(Bytes& out, uint32_t v) { internal::PutLittleEndian(out, v); }
+inline void PutU64(Bytes& out, uint64_t v) { internal::PutLittleEndian(out, v); }
 
 inline void PutBytes(Bytes& out, ByteSpan data) { out.insert(out.end(), data.begin(), data.end()); }
 
@@ -47,26 +72,15 @@ inline void PutString(Bytes& out, const std::string& s) {
 }
 
 inline uint16_t GetU16(ByteSpan in, size_t offset) {
-  DCHECK_LE(offset + 2, in.size());
-  return static_cast<uint16_t>(in[offset]) | static_cast<uint16_t>(in[offset + 1]) << 8;
+  return internal::GetLittleEndian<uint16_t>(in, offset);
 }
 
 inline uint32_t GetU32(ByteSpan in, size_t offset) {
-  DCHECK_LE(offset + 4, in.size());
-  uint32_t v = 0;
-  for (int i = 3; i >= 0; --i) {
-    v = (v << 8) | in[offset + static_cast<size_t>(i)];
-  }
-  return v;
+  return internal::GetLittleEndian<uint32_t>(in, offset);
 }
 
 inline uint64_t GetU64(ByteSpan in, size_t offset) {
-  DCHECK_LE(offset + 8, in.size());
-  uint64_t v = 0;
-  for (int i = 7; i >= 0; --i) {
-    v = (v << 8) | in[offset + static_cast<size_t>(i)];
-  }
-  return v;
+  return internal::GetLittleEndian<uint64_t>(in, offset);
 }
 
 // -- Sequential reader ------------------------------------------------------
@@ -145,12 +159,49 @@ class ByteReader {
   bool ok_ = true;
 };
 
+// -- Sequential writer ------------------------------------------------------
+
+// Append-side companion to ByteReader: owns the output vector and carries a
+// reserve hint so fixed-layout headers and length-prefixed payloads are
+// built with one allocation and memcpy-width stores.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(size_t reserve_hint) { buf_.reserve(reserve_hint); }
+
+  // Pre-allocates room for `additional` more bytes.
+  void Reserve(size_t additional) { buf_.reserve(buf_.size() + additional); }
+
+  void PutU8(uint8_t v) { buf_.push_back(v); }
+  void PutU16(uint16_t v) { hyperion::PutU16(buf_, v); }
+  void PutU32(uint32_t v) { hyperion::PutU32(buf_, v); }
+  void PutU64(uint64_t v) { hyperion::PutU64(buf_, v); }
+  void PutBytes(ByteSpan data) { hyperion::PutBytes(buf_, data); }
+  void PutString(const std::string& s) { hyperion::PutString(buf_, s); }
+
+  size_t size() const { return buf_.size(); }
+  const Bytes& bytes() const { return buf_; }
+  // Moves the accumulated bytes out; the writer is empty afterwards.
+  Bytes Take() { return std::move(buf_); }
+
+ private:
+  Bytes buf_;
+};
+
 // -- Checksums & formatting -------------------------------------------------
 
-// CRC32C (Castagnoli), bit-reflected, software table implementation. Used by
-// the WAL, SSTables, the segment table snapshot, and the file system to
-// detect torn writes (StatusCode::kDataLoss).
+// CRC32C (Castagnoli), bit-reflected. Dispatches once to the hardware
+// instruction path (SSE4.2 / ARMv8 CRC) when the CPU has it, else the
+// software table; both produce identical results (cross-checked in tests).
 uint32_t Crc32c(ByteSpan data);
+
+namespace internal {
+// Test/bench hooks for the two CRC32C implementations.
+uint32_t Crc32cSoftware(ByteSpan data);
+bool Crc32cHardwareAvailable();
+// Precondition: Crc32cHardwareAvailable().
+uint32_t Crc32cHardware(ByteSpan data);
+}  // namespace internal
 
 // FNV-1a 64-bit, for hash indexes where crypto strength is irrelevant.
 uint64_t Fnv1a64(ByteSpan data);

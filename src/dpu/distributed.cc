@@ -35,7 +35,7 @@ Status DistributedKvClient::Put(uint64_t key, ByteSpan value) {
   return CallOwner(key, KvOp::kPut, std::move(payload)).status();
 }
 
-Result<Bytes> DistributedKvClient::Get(uint64_t key) {
+Result<Buffer> DistributedKvClient::Get(uint64_t key) {
   Bytes payload;
   PutU64(payload, key);
   ASSIGN_OR_RETURN(RpcResponse response, CallOwner(key, KvOp::kGet, std::move(payload)));
@@ -79,7 +79,7 @@ Result<uint64_t> ReplicatedLogClient::Append(ByteSpan data) {
   return position;
 }
 
-Result<Bytes> ReplicatedLogClient::Read(uint64_t position) {
+Result<Buffer> ReplicatedLogClient::Read(uint64_t position) {
   if (replicas_.empty()) {
     return InvalidArgument("no replicas configured");
   }

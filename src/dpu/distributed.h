@@ -33,7 +33,8 @@ class DistributedKvClient {
       : partitions_(std::move(partitions)) {}
 
   Status Put(uint64_t key, ByteSpan value);
-  Result<Bytes> Get(uint64_t key);
+  // The returned Buffer shares the RPC response's backing bytes.
+  Result<Buffer> Get(uint64_t key);
   Status Delete(uint64_t key);
 
   // The partition that owns `key` (exposed for tests/placement debugging).
@@ -60,7 +61,7 @@ class ReplicatedLogClient {
   // Reads `position`, trying replicas in order; a replica returning
   // data-loss or not-found is skipped. After a successful fallback read the
   // damaged replica is repaired with a write-once put of the good data.
-  Result<Bytes> Read(uint64_t position);
+  Result<Buffer> Read(uint64_t position);
 
   uint64_t repairs() const { return repairs_; }
 

@@ -7,7 +7,7 @@
 
 namespace hyperion::dpu {
 
-Result<Bytes> RemoteTreeClient::CallTree(uint16_t opcode, Bytes payload) {
+Result<Buffer> RemoteTreeClient::CallTree(uint16_t opcode, Bytes payload) {
   ++rpcs_issued_;
   RpcRequest request;
   request.service = ServiceId::kTree;
@@ -18,32 +18,31 @@ Result<Bytes> RemoteTreeClient::CallTree(uint16_t opcode, Bytes payload) {
   return std::move(response.payload);
 }
 
-Result<Bytes> RemoteTreeClient::OffloadedGet(uint64_t key) {
+Result<Buffer> RemoteTreeClient::OffloadedGet(uint64_t key) {
   Bytes payload;
   PutU64(payload, key);
   return CallTree(TreeOp::kGet, std::move(payload));
 }
 
-Result<Bytes> RemoteTreeClient::ClientDrivenGet(uint64_t key) {
+Result<Buffer> RemoteTreeClient::ClientDrivenGet(uint64_t key) {
   // Learn the root (cached in a real client; priced here once per call to
   // stay conservative *against* the offloaded path would be wrong, so we
   // fetch info once and do not count it as part of the chase).
-  ASSIGN_OR_RETURN(Bytes info, CallTree(TreeOp::kInfo, {}));
+  ASSIGN_OR_RETURN(Buffer info, CallTree(TreeOp::kInfo, {}));
   const uint64_t root = GetU64(info, 8);
 
   uint64_t node_id = root;
   while (true) {
     Bytes node_req;
     PutU64(node_req, node_id);
-    ASSIGN_OR_RETURN(Bytes raw, CallTree(TreeOp::kReadNode, std::move(node_req)));
-    ASSIGN_OR_RETURN(storage::NodeView node,
-                     storage::ParseBPlusNode(ByteSpan(raw.data(), raw.size())));
+    ASSIGN_OR_RETURN(Buffer raw, CallTree(TreeOp::kReadNode, std::move(node_req)));
+    ASSIGN_OR_RETURN(storage::NodeView node, storage::ParseBPlusNode(raw.span()));
     if (node.is_leaf) {
       auto it = std::lower_bound(node.keys.begin(), node.keys.end(), key);
       if (it == node.keys.end() || *it != key) {
         return NotFound("key not in tree");
       }
-      return node.values[static_cast<size_t>(it - node.keys.begin())];
+      return Buffer(std::move(node.values[static_cast<size_t>(it - node.keys.begin())]));
     }
     auto it = std::upper_bound(node.keys.begin(), node.keys.end(), key);
     node_id = node.children[static_cast<size_t>(it - node.keys.begin())];

@@ -21,17 +21,18 @@ class RemoteTreeClient {
  public:
   explicit RemoteTreeClient(RpcClient* rpc) : rpc_(rpc) {}
 
-  // One RPC; the walk happens on the DPU.
-  Result<Bytes> OffloadedGet(uint64_t key);
+  // One RPC; the walk happens on the DPU. The Buffer shares the RPC
+  // response's backing bytes.
+  Result<Buffer> OffloadedGet(uint64_t key);
 
   // Height-many RPCs; the walk happens here.
-  Result<Bytes> ClientDrivenGet(uint64_t key);
+  Result<Buffer> ClientDrivenGet(uint64_t key);
 
   uint64_t rpcs_issued() const { return rpcs_issued_; }
   void ResetStats() { rpcs_issued_ = 0; }
 
  private:
-  Result<Bytes> CallTree(uint16_t opcode, Bytes payload);
+  Result<Buffer> CallTree(uint16_t opcode, Bytes payload);
 
   RpcClient* rpc_;
   uint64_t rpcs_issued_ = 0;

@@ -4,12 +4,31 @@
 
 namespace hyperion::dpu {
 
+namespace {
+
+// Header segment of a request frame: [service u16][opcode u16][len u32].
+Bytes RequestHeader(const RpcRequest& request) {
+  ByteWriter header(8);
+  header.PutU16(static_cast<uint16_t>(request.service));
+  header.PutU16(request.opcode);
+  header.PutU32(static_cast<uint32_t>(request.payload.size()));
+  return header.Take();
+}
+
+// Header segment of a response frame: [code u32][msg str][len u32].
+Bytes ResponseHeader(const RpcResponse& response) {
+  ByteWriter header(12 + response.status.message().size());
+  header.PutU32(static_cast<uint32_t>(response.status.code()));
+  header.PutString(std::string(response.status.message()));
+  header.PutU32(static_cast<uint32_t>(response.payload.size()));
+  return header.Take();
+}
+
+}  // namespace
+
 Bytes SerializeRequest(const RpcRequest& request) {
-  Bytes out;
-  PutU16(out, static_cast<uint16_t>(request.service));
-  PutU16(out, request.opcode);
-  PutU32(out, static_cast<uint32_t>(request.payload.size()));
-  PutBytes(out, ByteSpan(request.payload.data(), request.payload.size()));
+  Bytes out = RequestHeader(request);
+  PutBytes(out, request.payload);
   return out;
 }
 
@@ -19,19 +38,16 @@ Result<RpcRequest> ParseRequest(ByteSpan data) {
   request.service = static_cast<ServiceId>(reader.ReadU16());
   request.opcode = reader.ReadU16();
   const uint32_t len = reader.ReadU32();
-  request.payload = reader.ReadBytes(len);
-  if (!reader.Ok()) {
+  if (!reader.Ok() || reader.remaining() < len) {
     return DataLoss("truncated RPC request");
   }
+  request.payload = Buffer::CopyOf(data.subspan(reader.offset(), len));
   return request;
 }
 
 Bytes SerializeResponse(const RpcResponse& response) {
-  Bytes out;
-  PutU32(out, static_cast<uint32_t>(response.status.code()));
-  PutString(out, std::string(response.status.message()));
-  PutU32(out, static_cast<uint32_t>(response.payload.size()));
-  PutBytes(out, ByteSpan(response.payload.data(), response.payload.size()));
+  Bytes out = ResponseHeader(response);
+  PutBytes(out, response.payload);
   return out;
 }
 
@@ -42,10 +58,63 @@ Result<RpcResponse> ParseResponse(ByteSpan data) {
   const std::string message = reader.ReadString();
   response.status = code == StatusCode::kOk ? Status::Ok() : Status(code, message);
   const uint32_t len = reader.ReadU32();
-  response.payload = reader.ReadBytes(len);
-  if (!reader.Ok()) {
+  if (!reader.Ok() || reader.remaining() < len) {
     return DataLoss("truncated RPC response");
   }
+  response.payload = Buffer::CopyOf(data.subspan(reader.offset(), len));
+  return response;
+}
+
+BufferChain SerializeRequestFrame(const RpcRequest& request) {
+  BufferChain frame{Buffer(RequestHeader(request))};
+  frame.Append(request.payload);
+  return frame;
+}
+
+Result<RpcRequest> ParseRequestFrame(const BufferChain& frame) {
+  if (frame.segment_count() == 0) {
+    return DataLoss("truncated RPC request");
+  }
+  // Frames we build carry the whole header in segment 0; anything else is a
+  // foreign layout and takes the contiguous (copying) path.
+  ByteReader reader(frame.segment(0));
+  RpcRequest request;
+  request.service = static_cast<ServiceId>(reader.ReadU16());
+  request.opcode = reader.ReadU16();
+  const uint32_t len = reader.ReadU32();
+  if (!reader.Ok()) {
+    return ParseRequest(ByteSpan(frame.Flatten()));
+  }
+  if (frame.size() < reader.offset() + len) {
+    return DataLoss("truncated RPC request");
+  }
+  request.payload = frame.SubChain(reader.offset(), len).Gather();
+  return request;
+}
+
+BufferChain SerializeResponseFrame(const RpcResponse& response) {
+  BufferChain frame{Buffer(ResponseHeader(response))};
+  frame.Append(response.payload);
+  return frame;
+}
+
+Result<RpcResponse> ParseResponseFrame(const BufferChain& frame) {
+  if (frame.segment_count() == 0) {
+    return DataLoss("truncated RPC response");
+  }
+  ByteReader reader(frame.segment(0));
+  RpcResponse response;
+  const auto code = static_cast<StatusCode>(reader.ReadU32());
+  const std::string message = reader.ReadString();
+  response.status = code == StatusCode::kOk ? Status::Ok() : Status(code, message);
+  const uint32_t len = reader.ReadU32();
+  if (!reader.Ok()) {
+    return ParseResponse(ByteSpan(frame.Flatten()));
+  }
+  if (frame.size() < reader.offset() + len) {
+    return DataLoss("truncated RPC response");
+  }
+  response.payload = frame.SubChain(reader.offset(), len).Gather();
   return response;
 }
 
@@ -60,7 +129,7 @@ RpcResponse RpcServer::Dispatch(const RpcRequest& request) {
     counters_.Increment("rpc_unknown_service");
     return RpcResponse::Fail(NotFound("no such service"));
   }
-  return it->second(request.opcode, ByteSpan(request.payload.data(), request.payload.size()));
+  return it->second(request.opcode, request.payload);
 }
 
 namespace {
@@ -73,22 +142,24 @@ bool Retryable(const Status& status) {
 }  // namespace
 
 Result<RpcResponse> RpcClient::Attempt(const RpcRequest& request) {
-  const Bytes wire_request = SerializeRequest(request);
-  // Request flight.
-  RETURN_IF_ERROR(transport_->Send(self_, server_, wire_request.size()).status());
+  const uint64_t copies_before = BufferCopiedBytes();
+  // Request flight: the frame shares the payload's backing bytes.
+  const BufferChain wire_request = SerializeRequestFrame(request);
+  RETURN_IF_ERROR(transport_->SendFrame(self_, server_, wire_request).status());
   // Execution at the DPU (advances the shared clock).
   RpcResponse response = peer_->Dispatch(request);
   // Response flight.
-  const Bytes wire_response = SerializeResponse(response);
+  const BufferChain wire_response = SerializeResponseFrame(response);
   if (injector_ != nullptr && injector_->ShouldInject(sim::FaultSite::kRpcResponseDrop)) {
     // The server executed but the response evaporated; the client cannot
     // tell this apart from a lost request and must reissue.
     return Unavailable("rpc response lost");
   }
-  RETURN_IF_ERROR(transport_->Send(server_, self_, wire_response.size()).status());
-  // Model the decode round trip through the serializers for fidelity.
-  ASSIGN_OR_RETURN(RpcResponse decoded,
-                   ParseResponse(ByteSpan(wire_response.data(), wire_response.size())));
+  RETURN_IF_ERROR(transport_->SendFrame(server_, self_, wire_response).status());
+  // Model the decode round trip through the frame codec for fidelity; the
+  // decoded payload is a slice of the wire frame, not a copy.
+  ASSIGN_OR_RETURN(RpcResponse decoded, ParseResponseFrame(wire_response));
+  counters_.Add("copy_bytes", BufferCopiedBytes() - copies_before);
   return decoded;
 }
 

@@ -16,6 +16,7 @@
 #include <map>
 #include <string>
 
+#include "src/common/buffer.h"
 #include "src/common/bytes.h"
 #include "src/common/result.h"
 #include "src/net/transport.h"
@@ -35,30 +36,46 @@ enum class ServiceId : uint16_t {
   kApp = 6,    // Willow-style user RPC: opcode = accelerator id, payload = ctx
 };
 
+// Payloads are ref-counted Buffers: building a request around an existing
+// value, dispatching it, and returning a response shares the backing bytes
+// instead of copying them at every layer.
 struct RpcRequest {
   ServiceId service = ServiceId::kControl;
   uint16_t opcode = 0;
-  Bytes payload;
+  Buffer payload;
 };
 
 struct RpcResponse {
   Status status;
-  Bytes payload;
+  Buffer payload;
 
-  static RpcResponse Ok(Bytes payload = {}) { return RpcResponse{Status::Ok(), std::move(payload)}; }
+  static RpcResponse Ok(Buffer payload = {}) {
+    return RpcResponse{Status::Ok(), std::move(payload)};
+  }
   static RpcResponse Fail(Status status) { return RpcResponse{std::move(status), {}}; }
 };
 
+// Contiguous wire codecs (compatibility/golden layout; parsing copies the
+// payload out of the caller's span because the span may not outlive it).
 Bytes SerializeRequest(const RpcRequest& request);
 Result<RpcRequest> ParseRequest(ByteSpan data);
 Bytes SerializeResponse(const RpcResponse& response);
 Result<RpcResponse> ParseResponse(ByteSpan data);
 
+// Scatter-gather wire codecs: the frame is [header segment][payload
+// segments...] — the payload rides as shared Buffer slices, so neither
+// serialize nor parse copies it. Byte-for-byte identical layout to the
+// contiguous codecs (Flatten() of the frame == Serialize*()).
+BufferChain SerializeRequestFrame(const RpcRequest& request);
+Result<RpcRequest> ParseRequestFrame(const BufferChain& frame);
+BufferChain SerializeResponseFrame(const RpcResponse& response);
+Result<RpcResponse> ParseResponseFrame(const BufferChain& frame);
+
 // Server-side dispatch table. Handlers run on the DPU and advance the
 // shared virtual clock by whatever work they do.
 class RpcServer {
  public:
-  using Handler = std::function<RpcResponse(uint16_t opcode, ByteSpan payload)>;
+  using Handler = std::function<RpcResponse(uint16_t opcode, const Buffer& payload)>;
 
   void RegisterService(ServiceId service, Handler handler);
   RpcResponse Dispatch(const RpcRequest& request);
@@ -111,7 +128,10 @@ class RpcClient {
   Result<RpcResponse> CallWithDeadline(const RpcRequest& request, sim::SimTime deadline);
 
   // Retry/recovery accounting: rpc_attempts, rpc_retries, rpc_backoff_ns,
-  // rpc_recoveries, rpc_retries_exhausted, rpc_deadline_exceeded.
+  // rpc_recoveries, rpc_retries_exhausted, rpc_deadline_exceeded; plus
+  // copy_bytes — bytes physically memcpy'd through the buffer layer across
+  // this client's attempts (serialize, dispatch, parse), the per-request
+  // copy metric bench_fig2_datapath reports.
   const sim::Counters& counters() const { return counters_; }
 
  private:

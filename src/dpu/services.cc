@@ -36,40 +36,42 @@ Result<std::unique_ptr<HyperionServices>> HyperionServices::Install(
 }
 
 void HyperionServices::Register() {
-  dpu_->rpc().RegisterService(ServiceId::kKv, [this](uint16_t opcode, ByteSpan payload) {
+  dpu_->rpc().RegisterService(ServiceId::kKv, [this](uint16_t opcode, const Buffer& payload) {
     return HandleKv(opcode, payload);
   });
-  dpu_->rpc().RegisterService(ServiceId::kTree, [this](uint16_t opcode, ByteSpan payload) {
+  dpu_->rpc().RegisterService(ServiceId::kTree, [this](uint16_t opcode, const Buffer& payload) {
     return HandleTree(opcode, payload);
   });
-  dpu_->rpc().RegisterService(ServiceId::kLog, [this](uint16_t opcode, ByteSpan payload) {
+  dpu_->rpc().RegisterService(ServiceId::kLog, [this](uint16_t opcode, const Buffer& payload) {
     return HandleLog(opcode, payload);
   });
-  dpu_->rpc().RegisterService(ServiceId::kControl, [this](uint16_t opcode, ByteSpan payload) {
+  dpu_->rpc().RegisterService(ServiceId::kControl, [this](uint16_t opcode, const Buffer& payload) {
     return HandleControl(opcode, payload);
   });
-  dpu_->rpc().RegisterService(ServiceId::kBlock, [this](uint16_t opcode, ByteSpan payload) {
+  dpu_->rpc().RegisterService(ServiceId::kBlock, [this](uint16_t opcode, const Buffer& payload) {
     return HandleBlock(opcode, payload);
   });
-  dpu_->rpc().RegisterService(ServiceId::kApp, [this](uint16_t opcode, ByteSpan payload) {
+  dpu_->rpc().RegisterService(ServiceId::kApp, [this](uint16_t opcode, const Buffer& payload) {
     return HandleApp(opcode, payload);
   });
 }
 
 void HyperionServices::ChargeShell() { dpu_->engine()->Advance(kShellCost); }
 
-RpcResponse HyperionServices::HandleKv(uint16_t opcode, ByteSpan payload) {
+RpcResponse HyperionServices::HandleKv(uint16_t opcode, const Buffer& payload) {
   ChargeShell();
   ByteReader reader(payload);
   switch (opcode) {
     case KvOp::kPut: {
       const uint64_t key = reader.ReadU64();
       const uint32_t len = reader.ReadU32();
-      Bytes value = reader.ReadBytes(len);
-      if (!reader.Ok()) {
+      if (!reader.Ok() || reader.remaining() < len) {
         return RpcResponse::Fail(InvalidArgument("malformed put"));
       }
-      Status st = kv_->Put(key, ByteSpan(value.data(), value.size()));
+      // The value is referenced straight out of the request payload; the
+      // copy happens inside Put at the store boundary.
+      Buffer value = payload.Slice(reader.offset(), len);
+      Status st = kv_->Put(key, value);
       return st.ok() ? RpcResponse::Ok() : RpcResponse::Fail(st);
     }
     case KvOp::kGet: {
@@ -77,7 +79,7 @@ RpcResponse HyperionServices::HandleKv(uint16_t opcode, ByteSpan payload) {
       if (!reader.Ok()) {
         return RpcResponse::Fail(InvalidArgument("malformed get"));
       }
-      Result<Bytes> value = kv_->Get(key);
+      Result<Buffer> value = kv_->GetBuffer(key);
       if (!value.ok()) {
         return RpcResponse::Fail(value.status());
       }
@@ -101,21 +103,23 @@ RpcResponse HyperionServices::HandleKv(uint16_t opcode, ByteSpan payload) {
       if (!rows.ok()) {
         return RpcResponse::Fail(rows.status());
       }
-      Bytes out;
-      PutU32(out, static_cast<uint32_t>(rows->size()));
+      // A scan response is an inherent gather: rows from many blocks merge
+      // into one payload.
+      ByteWriter out;
+      out.PutU32(static_cast<uint32_t>(rows->size()));
       for (const auto& [key, value] : *rows) {
-        PutU64(out, key);
-        PutU32(out, static_cast<uint32_t>(value.size()));
-        PutBytes(out, ByteSpan(value.data(), value.size()));
+        out.PutU64(key);
+        out.PutU32(static_cast<uint32_t>(value.size()));
+        out.PutBytes(ByteSpan(value.data(), value.size()));
       }
-      return RpcResponse::Ok(std::move(out));
+      return RpcResponse::Ok(out.Take());
     }
     default:
       return RpcResponse::Fail(Unimplemented("unknown KV opcode"));
   }
 }
 
-RpcResponse HyperionServices::HandleTree(uint16_t opcode, ByteSpan payload) {
+RpcResponse HyperionServices::HandleTree(uint16_t opcode, const Buffer& payload) {
   ChargeShell();
   ByteReader reader(payload);
   switch (opcode) {
@@ -143,24 +147,25 @@ RpcResponse HyperionServices::HandleTree(uint16_t opcode, ByteSpan payload) {
       return RpcResponse::Ok(std::move(raw).value());
     }
     case TreeOp::kInfo: {
-      Bytes out;
-      PutU64(out, tree_->tree_id());
-      PutU64(out, tree_->root_node_id());
-      PutU32(out, tree_->Height());
-      return RpcResponse::Ok(std::move(out));
+      ByteWriter out(20);
+      out.PutU64(tree_->tree_id());
+      out.PutU64(tree_->root_node_id());
+      out.PutU32(tree_->Height());
+      return RpcResponse::Ok(out.Take());
     }
     default:
       return RpcResponse::Fail(Unimplemented("unknown tree opcode"));
   }
 }
 
-RpcResponse HyperionServices::HandleLog(uint16_t opcode, ByteSpan payload) {
+RpcResponse HyperionServices::HandleLog(uint16_t opcode, const Buffer& payload) {
   ChargeShell();
   ByteReader reader(payload);
   switch (opcode) {
     case LogOp::kAppend: {
-      Bytes data(payload.begin(), payload.end());
-      Result<uint64_t> position = log_->Append(ByteSpan(data.data(), data.size()));
+      // The entry bytes go straight from the request payload into the log's
+      // framed write — no intermediate staging copy.
+      Result<uint64_t> position = log_->Append(payload);
       if (!position.ok()) {
         return RpcResponse::Fail(position.status());
       }
@@ -201,11 +206,10 @@ RpcResponse HyperionServices::HandleLog(uint16_t opcode, ByteSpan payload) {
     }
     case LogOp::kWriteAt: {
       const uint64_t position = reader.ReadU64();
-      Bytes data = reader.ReadBytes(reader.remaining());
       if (!reader.Ok()) {
         return RpcResponse::Fail(InvalidArgument("malformed write-at"));
       }
-      Status st = log_->WriteAt(position, ByteSpan(data.data(), data.size()));
+      Status st = log_->WriteAt(position, payload.Slice(reader.offset()));
       return st.ok() ? RpcResponse::Ok() : RpcResponse::Fail(st);
     }
     default:
@@ -213,7 +217,7 @@ RpcResponse HyperionServices::HandleLog(uint16_t opcode, ByteSpan payload) {
   }
 }
 
-RpcResponse HyperionServices::HandleBlock(uint16_t opcode, ByteSpan payload) {
+RpcResponse HyperionServices::HandleBlock(uint16_t opcode, const Buffer& payload) {
   ChargeShell();
   ByteReader reader(payload);
   switch (opcode) {
@@ -233,11 +237,13 @@ RpcResponse HyperionServices::HandleBlock(uint16_t opcode, ByteSpan payload) {
     case BlockOp::kWrite: {
       const uint32_t nsid = reader.ReadU32();
       const uint64_t slba = reader.ReadU64();
-      Bytes data = reader.ReadBytes(reader.remaining());
       if (!reader.Ok()) {
         return RpcResponse::Fail(InvalidArgument("malformed block write"));
       }
-      Status st = dpu_->nvme().Write(nsid, slba, ByteSpan(data.data(), data.size()));
+      // SG write straight out of the request payload: the NVMe command's
+      // descriptor references this slice of the wire buffer.
+      Status st = dpu_->nvme().WriteChain(nsid, slba,
+                                          BufferChain(payload.Slice(reader.offset())));
       return st.ok() ? RpcResponse::Ok() : RpcResponse::Fail(st);
     }
     case BlockOp::kFlush: {
@@ -246,46 +252,47 @@ RpcResponse HyperionServices::HandleBlock(uint16_t opcode, ByteSpan payload) {
       return st.ok() ? RpcResponse::Ok() : RpcResponse::Fail(st);
     }
     case BlockOp::kIdentify: {
-      Bytes out;
       const uint32_t count = dpu_->nvme().NamespaceCount();
-      PutU32(out, count);
+      ByteWriter out(4 + 8 * static_cast<size_t>(count));
+      out.PutU32(count);
       for (uint32_t ns = 1; ns <= count; ++ns) {
-        PutU64(out, *dpu_->nvme().NamespaceCapacity(ns));
+        out.PutU64(*dpu_->nvme().NamespaceCapacity(ns));
       }
-      return RpcResponse::Ok(std::move(out));
+      return RpcResponse::Ok(out.Take());
     }
     default:
       return RpcResponse::Fail(Unimplemented("unknown block opcode"));
   }
 }
 
-RpcResponse HyperionServices::HandleApp(uint16_t opcode, ByteSpan payload) {
+RpcResponse HyperionServices::HandleApp(uint16_t opcode, const Buffer& payload) {
   ChargeShell();
   // opcode = accelerator id from a prior kDeploy; payload = the program's
-  // context buffer (mutable: the program may rewrite it in place).
-  Bytes ctx(payload.begin(), payload.end());
+  // context buffer. The eBPF program mutates the context in place, so this
+  // is a genuine copy-on-write boundary — the one honest copy on this path.
+  Bytes ctx = payload.ToBytes();
   Result<uint64_t> r0 = dpu_->ProcessPacket(static_cast<AcceleratorId>(opcode),
                                             MutableByteSpan(ctx));
   if (!r0.ok()) {
     return RpcResponse::Fail(r0.status());
   }
-  Bytes out;
-  PutU64(out, *r0);
-  PutBytes(out, ByteSpan(ctx.data(), ctx.size()));
-  return RpcResponse::Ok(std::move(out));
+  ByteWriter out(8 + ctx.size());
+  out.PutU64(*r0);
+  out.PutBytes(ByteSpan(ctx.data(), ctx.size()));
+  return RpcResponse::Ok(out.Take());
 }
 
 Status HyperionServices::ServeVolume(uint32_t nsid) {
   ASSIGN_OR_RETURN(fs::ExtFs volume, fs::ExtFs::Mount(&dpu_->nvme(), nsid));
   volume_ = std::make_unique<fs::AnnotatedReader>(&dpu_->nvme(), nsid,
                                                   fs::GenerateAnnotation(volume));
-  dpu_->rpc().RegisterService(ServiceId::kFile, [this](uint16_t opcode, ByteSpan payload) {
+  dpu_->rpc().RegisterService(ServiceId::kFile, [this](uint16_t opcode, const Buffer& payload) {
     return HandleFile(opcode, payload);
   });
   return Status::Ok();
 }
 
-RpcResponse HyperionServices::HandleFile(uint16_t opcode, ByteSpan payload) {
+RpcResponse HyperionServices::HandleFile(uint16_t opcode, const Buffer& payload) {
   ChargeShell();
   if (volume_ == nullptr) {
     return RpcResponse::Fail(Unavailable("no volume served"));
@@ -323,19 +330,18 @@ RpcResponse HyperionServices::HandleFile(uint16_t opcode, ByteSpan payload) {
   }
 }
 
-RpcResponse HyperionServices::HandleControl(uint16_t opcode, ByteSpan payload) {
+RpcResponse HyperionServices::HandleControl(uint16_t opcode, const Buffer& payload) {
   ChargeShell();
   ByteReader reader(payload);
   switch (opcode) {
     case ControlOp::kDeploy: {
       const std::string token = reader.ReadString();
       const uint32_t tenant = reader.ReadU32();
-      Bytes program_bytes = reader.ReadBytes(reader.remaining());
       if (!reader.Ok()) {
         return RpcResponse::Fail(InvalidArgument("malformed deploy"));
       }
       Result<ebpf::Program> program =
-          ebpf::ParseProgram(ByteSpan(program_bytes.data(), program_bytes.size()));
+          ebpf::ParseProgram(payload.span().subspan(reader.offset()));
       if (!program.ok()) {
         return RpcResponse::Fail(program.status());
       }

@@ -88,13 +88,16 @@ class HyperionServices {
   explicit HyperionServices(Hyperion* dpu) : dpu_(dpu) {}
 
   void Register();
-  RpcResponse HandleKv(uint16_t opcode, ByteSpan payload);
-  RpcResponse HandleTree(uint16_t opcode, ByteSpan payload);
-  RpcResponse HandleLog(uint16_t opcode, ByteSpan payload);
-  RpcResponse HandleBlock(uint16_t opcode, ByteSpan payload);
-  RpcResponse HandleFile(uint16_t opcode, ByteSpan payload);
-  RpcResponse HandleApp(uint16_t opcode, ByteSpan payload);
-  RpcResponse HandleControl(uint16_t opcode, ByteSpan payload);
+  // Handlers take the request payload as a shared Buffer: value bytes are
+  // sliced out of it (put/append/write paths) or adopted from the store
+  // (get/read paths) — the shell never copies a payload it can reference.
+  RpcResponse HandleKv(uint16_t opcode, const Buffer& payload);
+  RpcResponse HandleTree(uint16_t opcode, const Buffer& payload);
+  RpcResponse HandleLog(uint16_t opcode, const Buffer& payload);
+  RpcResponse HandleBlock(uint16_t opcode, const Buffer& payload);
+  RpcResponse HandleFile(uint16_t opcode, const Buffer& payload);
+  RpcResponse HandleApp(uint16_t opcode, const Buffer& payload);
+  RpcResponse HandleControl(uint16_t opcode, const Buffer& payload);
 
   // Fixed fabric cost of request parse/dispatch in the shell pipeline.
   void ChargeShell();

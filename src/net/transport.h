@@ -21,6 +21,7 @@
 #include <memory>
 #include <string_view>
 
+#include "src/common/buffer.h"
 #include "src/common/result.h"
 #include "src/common/rng.h"
 #include "src/net/fabric.h"
@@ -64,6 +65,14 @@ class Transport {
   // advances to the loss-detection point, which for UDP is immediate at the
   // sender model boundary).
   virtual Result<sim::Duration> Send(HostId src, HostId dst, uint64_t bytes) = 0;
+
+  // Scatter-gather send: the frame travels as shared Buffer slices and is
+  // never flattened here — the cost charged is exactly Send() of the chain's
+  // total byte count, so the latency model is independent of segmentation.
+  Result<sim::Duration> SendFrame(HostId src, HostId dst, const BufferChain& frame) {
+    fabric_->NoteFrame(frame);
+    return Send(src, dst, frame.size());
+  }
 
   // Request/response exchange; reliable transports retry internally.
   virtual Result<sim::Duration> RoundTrip(HostId src, HostId dst, uint64_t request_bytes,

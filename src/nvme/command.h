@@ -10,6 +10,7 @@
 
 #include <cstdint>
 
+#include "src/common/buffer.h"
 #include "src/common/bytes.h"
 
 namespace hyperion::nvme {
@@ -44,8 +45,10 @@ struct Command {
   uint64_t slba = 0;      // starting LBA
   uint32_t nlb = 0;       // number of logical blocks, 0-based per spec (0 => 1 block)
 
-  // Stand-in for PRP/SGL: the payload to write, or where reads land.
-  Bytes data;
+  // SGL stand-in: the write payload as a scatter-gather chain of shared
+  // Buffer segments — posting a command references the caller's buffers
+  // rather than staging a copy.
+  BufferChain data;
 
   uint32_t BlockCount() const { return nlb + 1; }
 };

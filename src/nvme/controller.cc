@@ -99,10 +99,15 @@ Completion Controller::Execute(const Command& cmd) {
       const sim::Duration t = ns->ServiceTime(cmd.slba, blocks, /*is_write=*/true,
                                               engine_->Now());
       engine_->Advance(t);
+      // Walk the SG chain block by block: a block inside one segment is
+      // written straight from the caller's buffer; only a block straddling
+      // segment boundaries assembles through scratch.
+      ChainReader reader(cmd.data);
+      Bytes scratch(kLbaSize);
       for (uint32_t i = 0; i < blocks; ++i) {
-        CHECK_OK(ns->WriteBlock(cmd.slba + i,
-                                ByteSpan(cmd.data.data() + static_cast<size_t>(i) * kLbaSize,
-                                         kLbaSize)));
+        ByteSpan block = reader.Next(kLbaSize, MutableByteSpan(scratch));
+        CHECK(reader.ok());
+        CHECK_OK(ns->WriteBlock(cmd.slba + i, block));
       }
       counters_.Add("nvme_writes", 1);
       counters_.Add("nvme_write_bytes", static_cast<uint64_t>(blocks) * kLbaSize);
@@ -193,6 +198,12 @@ Result<Bytes> Controller::Read(uint32_t nsid, uint64_t slba, uint32_t block_coun
 }
 
 Status Controller::Write(uint32_t nsid, uint64_t slba, ByteSpan data) {
+  // The command only lives for this synchronous call, so it can reference
+  // the caller's span directly instead of staging a copy.
+  return WriteChain(nsid, slba, BufferChain(Buffer::Borrowed(data)));
+}
+
+Status Controller::WriteChain(uint32_t nsid, uint64_t slba, BufferChain data) {
   if (data.empty() || data.size() % kLbaSize != 0) {
     return InvalidArgument("write must be a whole number of LBAs");
   }
@@ -202,7 +213,7 @@ Status Controller::Write(uint32_t nsid, uint64_t slba, ByteSpan data) {
   cmd.nsid = nsid;
   cmd.slba = slba;
   cmd.nlb = static_cast<uint32_t>(data.size() / kLbaSize) - 1;
-  cmd.data.assign(data.begin(), data.end());
+  cmd.data = std::move(data);
   Completion cqe = ExecuteWithRetry(std::move(cmd));
   if (cqe.status != CmdStatus::kSuccess) {
     if (IsTransient(cqe.status)) {

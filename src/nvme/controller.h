@@ -58,6 +58,9 @@ class Controller {
 
   Result<Bytes> Read(uint32_t nsid, uint64_t slba, uint32_t block_count);
   Status Write(uint32_t nsid, uint64_t slba, ByteSpan data);  // data = N * kLbaSize
+  // Scatter-gather write: the command references `data`'s segments (no
+  // staging copy). Same size contract as Write.
+  Status WriteChain(uint32_t nsid, uint64_t slba, BufferChain data);
   Status Flush(uint32_t nsid);
 
   // -- Fault injection & recovery -------------------------------------------

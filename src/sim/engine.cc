@@ -1,23 +1,196 @@
 #include "src/sim/engine.h"
 
+#include <algorithm>
+
 #include "src/common/check.h"
 
 namespace hyperion::sim {
 
+Engine::Engine(const EngineOptions& options) : options_(options) {
+  CHECK_GT(options_.slot_count, 0u);
+  CHECK_EQ(options_.slot_count & (options_.slot_count - 1), 0u)
+      << "slot_count must be a power of two";
+  CHECK_LT(options_.slot_shift, 64u);
+  if (options_.use_timing_wheel) {
+    slots_.resize(options_.slot_count);
+  }
+}
+
+Engine::~Engine() {
+  // Destroy any still-pending events. Pooled nodes live in the slabs and are
+  // freed with them; unpooled nodes must be deleted individually.
+  for (auto& slot : slots_) {
+    for (Event* event : slot) {
+      ReleaseEvent(event);
+    }
+    slot.clear();
+  }
+  while (!heap_.empty()) {
+    Event* event = heap_.top();
+    heap_.pop();
+    ReleaseEvent(event);
+  }
+}
+
+Engine::Event* Engine::AllocEvent() {
+  if (!options_.pool_events) {
+    return new Event;
+  }
+  if (free_list_ == nullptr) {
+    auto slab = std::make_unique<Event[]>(kSlabEvents);
+    for (size_t i = 0; i < kSlabEvents; ++i) {
+      slab[i].next_free = free_list_;
+      free_list_ = &slab[i];
+    }
+    slabs_.push_back(std::move(slab));
+    ++stats_.pool_slabs;
+  }
+  Event* event = free_list_;
+  free_list_ = event->next_free;
+  return event;
+}
+
+void Engine::ReleaseEvent(Event* event) {
+  event->fn.Reset();
+  if (!options_.pool_events) {
+    delete event;
+    return;
+  }
+  event->next_free = free_list_;
+  free_list_ = event;
+}
+
+void Engine::InsertWheel(Event* event) {
+  const uint64_t abs_slot = event->when >> options_.slot_shift;
+  if (wheel_count_ == 0 || abs_slot < hint_slot_) {
+    hint_slot_ = abs_slot;
+  }
+  slots_[abs_slot & (options_.slot_count - 1)].push_back(event);
+  ++wheel_count_;
+}
+
 void Engine::ScheduleAt(SimTime when, Callback fn) {
   CHECK_GE(when, now_) << "cannot schedule into the past";
-  queue_.push(Event{when, next_seq_++, std::move(fn)});
+  Event* event = AllocEvent();
+  event->when = when;
+  event->seq = next_seq_++;
+  event->fn = std::move(fn);
+  ++stats_.scheduled;
+  if (event->fn.is_inline()) {
+    ++stats_.inline_callbacks;
+  } else {
+    ++stats_.boxed_callbacks;
+  }
+  ++event_count_;
+  if (options_.use_timing_wheel &&
+      (when >> options_.slot_shift) - (now_ >> options_.slot_shift) < options_.slot_count) {
+    InsertWheel(event);
+    ++stats_.wheel_scheduled;
+  } else {
+    heap_.push(event);
+    ++stats_.heap_scheduled;
+  }
+}
+
+void Engine::MigrateHeap() {
+  if (!options_.use_timing_wheel) {
+    return;
+  }
+  const uint64_t cur_slot = now_ >> options_.slot_shift;
+  while (!heap_.empty() &&
+         (heap_.top()->when >> options_.slot_shift) - cur_slot < options_.slot_count) {
+    Event* event = heap_.top();
+    heap_.pop();
+    InsertWheel(event);
+    ++stats_.heap_migrated;
+  }
+}
+
+Engine::Event* Engine::ExtractMin(SimTime limit) {
+  if (event_count_ == 0) {
+    return nullptr;
+  }
+  MigrateHeap();
+
+  // Earliest wheel event: scan slots forward from the hint. Every pending
+  // wheel event has an absolute slot in [now_slot, now_slot + slot_count),
+  // so the modulo mapping is injective over the scan window and the first
+  // non-empty slot holds the wheel minimum (ties broken by seq within it).
+  Event* best = nullptr;
+  size_t best_slot = 0;
+  size_t best_idx = 0;
+  if (wheel_count_ > 0) {
+    uint64_t s = std::max(hint_slot_, now_ >> options_.slot_shift);
+    for (;; ++s) {
+      const size_t idx = s & (options_.slot_count - 1);
+      const auto& slot = slots_[idx];
+      if (slot.empty()) {
+        continue;
+      }
+      hint_slot_ = s;
+      for (size_t i = 0; i < slot.size(); ++i) {
+        if (best == nullptr || Earlier(slot[i], best)) {
+          best = slot[i];
+          best_idx = i;
+        }
+      }
+      best_slot = idx;
+      break;
+    }
+  }
+
+  if (!heap_.empty() && (best == nullptr || Earlier(heap_.top(), best))) {
+    Event* event = heap_.top();
+    if (event->when > limit) {
+      return nullptr;
+    }
+    heap_.pop();
+    --event_count_;
+    return event;
+  }
+  if (best == nullptr || best->when > limit) {
+    return nullptr;
+  }
+  auto& slot = slots_[best_slot];
+  slot[best_idx] = slot.back();
+  slot.pop_back();
+  --wheel_count_;
+  --event_count_;
+  return best;
+}
+
+SimTime Engine::PeekTime() {
+  if (event_count_ == 0) {
+    return kNever;
+  }
+  MigrateHeap();
+  SimTime best = kNever;
+  if (wheel_count_ > 0) {
+    uint64_t s = std::max(hint_slot_, now_ >> options_.slot_shift);
+    for (;; ++s) {
+      const auto& slot = slots_[s & (options_.slot_count - 1)];
+      if (slot.empty()) {
+        continue;
+      }
+      hint_slot_ = s;
+      for (const Event* event : slot) {
+        best = std::min(best, event->when);
+      }
+      break;
+    }
+  }
+  if (!heap_.empty()) {
+    best = std::min(best, heap_.top()->when);
+  }
+  return best;
 }
 
 uint64_t Engine::Run() {
   uint64_t executed = 0;
-  while (!queue_.empty()) {
-    // Moving out of a priority_queue top requires the const_cast dance; the
-    // element is popped immediately after, so this is safe.
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    now_ = ev.when;
-    ev.fn();
+  while (Event* event = ExtractMin(kNever)) {
+    now_ = event->when;
+    event->fn();
+    ReleaseEvent(event);
     ++executed;
   }
   return executed;
@@ -25,11 +198,10 @@ uint64_t Engine::Run() {
 
 uint64_t Engine::RunUntil(SimTime deadline) {
   uint64_t executed = 0;
-  while (!queue_.empty() && queue_.top().when <= deadline) {
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    now_ = ev.when;
-    ev.fn();
+  while (Event* event = ExtractMin(deadline)) {
+    now_ = event->when;
+    event->fn();
+    ReleaseEvent(event);
     ++executed;
   }
   if (now_ < deadline) {
@@ -40,7 +212,7 @@ uint64_t Engine::RunUntil(SimTime deadline) {
 
 void Engine::AdvanceTo(SimTime t) {
   CHECK_GE(t, now_) << "virtual time cannot go backwards";
-  CHECK(queue_.empty() || queue_.top().when >= t)
+  CHECK(event_count_ == 0 || PeekTime() >= t)
       << "AdvanceTo would skip over a pending event; use RunUntil";
   now_ = t;
 }

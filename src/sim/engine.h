@@ -4,26 +4,161 @@
 // engine executes them in (time, insertion-order) order. Ties are broken by
 // a monotonically increasing sequence number, which makes runs bit-stable
 // regardless of container iteration quirks.
+//
+// Hot-path design (PR 2): the engine is on every modelled request's path,
+// so it avoids the classic heap-and-std::function costs three ways:
+//
+//   * EventFn stores callables with captures <= 48 bytes inline — no heap
+//     allocation per scheduled lambda (std::function boxes anything above
+//     ~two words).
+//   * Event nodes come from a slab-recycled pool; steady-state scheduling
+//     allocates nothing.
+//   * A timing wheel (power-of-two slots x slot width) absorbs near-future
+//     events with O(1) insertion; only events beyond the wheel horizon fall
+//     back to the binary heap, and they migrate into the wheel as virtual
+//     time approaches them.
+//
+// All three are behaviour-preserving: execution order is exactly the
+// (time, seq) order of the original heap engine, which the PR-1 determinism
+// regression test pins bit-identically. EngineOptions exposes the wheel and
+// pool as knobs so bench_engine can measure each against the baseline.
 
 #ifndef HYPERION_SRC_SIM_ENGINE_H_
 #define HYPERION_SRC_SIM_ENGINE_H_
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
+#include <memory>
+#include <new>
 #include <queue>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "src/sim/time.h"
 
 namespace hyperion::sim {
 
+// Type-erased move-only callable with inline storage for small captures.
+// Drop-in for the engine's former std::function<void()> callback type, but
+// captures up to kInlineBytes live inside the event node itself.
+class EventFn {
+ public:
+  static constexpr size_t kInlineBytes = 48;
+
+  EventFn() = default;
+
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, EventFn> &&
+             std::is_invocable_v<std::remove_cvref_t<F>&>)
+  EventFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::remove_cvref_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes && alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      ops_ = &InlineOps<Fn>::kOps;
+    } else {
+      *reinterpret_cast<Fn**>(static_cast<void*>(storage_)) = new Fn(std::forward<F>(f));
+      ops_ = &BoxedOps<Fn>::kOps;
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept { MoveFrom(std::move(other)); }
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(std::move(other));
+    }
+    return *this;
+  }
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+  ~EventFn() { Reset(); }
+
+  void operator()() { ops_->invoke(storage_); }
+  explicit operator bool() const { return ops_ != nullptr; }
+  // True when the callable lives in the inline storage (no heap box).
+  bool is_inline() const { return ops_ != nullptr && ops_->inline_stored; }
+
+  void Reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    void (*relocate)(void* dst, void* src);  // move-construct dst, destroy src
+    void (*destroy)(void* storage);
+    bool inline_stored;
+  };
+
+  template <typename Fn>
+  struct InlineOps {
+    static Fn* At(void* s) { return std::launder(reinterpret_cast<Fn*>(s)); }
+    static void Invoke(void* s) { (*At(s))(); }
+    static void Relocate(void* dst, void* src) {
+      ::new (dst) Fn(std::move(*At(src)));
+      At(src)->~Fn();
+    }
+    static void Destroy(void* s) { At(s)->~Fn(); }
+    static constexpr Ops kOps = {&Invoke, &Relocate, &Destroy, /*inline_stored=*/true};
+  };
+
+  template <typename Fn>
+  struct BoxedOps {
+    static Fn*& Ptr(void* s) { return *reinterpret_cast<Fn**>(s); }
+    static void Invoke(void* s) { (*Ptr(s))(); }
+    static void Relocate(void* dst, void* src) { Ptr(dst) = Ptr(src); }
+    static void Destroy(void* s) { delete Ptr(s); }
+    static constexpr Ops kOps = {&Invoke, &Relocate, &Destroy, /*inline_stored=*/false};
+  };
+
+  void MoveFrom(EventFn&& other) {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+// Knobs for bench_engine's A/B comparisons; defaults are the fast path.
+struct EngineOptions {
+  bool use_timing_wheel = true;
+  bool pool_events = true;
+  // Wheel geometry: slot width 2^slot_shift ns, slot_count slots (power of
+  // two). Defaults cover a ~4.2 ms horizon at 4.096 us per slot — wide
+  // enough for transport latencies, RTOs, and RPC backoffs.
+  uint32_t slot_shift = 12;
+  uint32_t slot_count = 1024;
+};
+
+// Scheduling/run telemetry (monotonic; for benches and tests, not models).
+struct EngineStats {
+  uint64_t scheduled = 0;
+  uint64_t wheel_scheduled = 0;   // entered the wheel directly
+  uint64_t heap_scheduled = 0;    // beyond the horizon (or wheel disabled)
+  uint64_t heap_migrated = 0;     // heap -> wheel as the horizon advanced
+  uint64_t inline_callbacks = 0;  // captures that fit EventFn inline storage
+  uint64_t boxed_callbacks = 0;   // heap-boxed captures
+  uint64_t pool_slabs = 0;        // event slabs allocated
+};
+
 class Engine {
  public:
-  using Callback = std::function<void()>;
+  using Callback = EventFn;
 
-  Engine() = default;
+  Engine() : Engine(EngineOptions{}) {}
+  explicit Engine(const EngineOptions& options);
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
+  ~Engine();
 
   SimTime Now() const { return now_; }
 
@@ -45,27 +180,63 @@ class Engine {
   void AdvanceTo(SimTime t);
   void Advance(Duration d) { AdvanceTo(now_ + d); }
 
-  bool Empty() const { return queue_.empty(); }
-  size_t PendingEvents() const { return queue_.size(); }
+  bool Empty() const { return event_count_ == 0; }
+  size_t PendingEvents() const { return event_count_; }
+
+  const EngineOptions& options() const { return options_; }
+  const EngineStats& stats() const { return stats_; }
 
  private:
   struct Event {
-    SimTime when;
-    uint64_t seq;
-    Callback fn;
+    SimTime when = 0;
+    uint64_t seq = 0;
+    EventFn fn;
+    Event* next_free = nullptr;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.when != b.when) {
-        return a.when > b.when;
+  struct LaterPtr {
+    bool operator()(const Event* a, const Event* b) const {
+      if (a->when != b->when) {
+        return a->when > b->when;
       }
-      return a.seq > b.seq;
+      return a->seq > b->seq;
     }
   };
+  static bool Earlier(const Event* a, const Event* b) {
+    return a->when < b->when || (a->when == b->when && a->seq < b->seq);
+  }
 
+  Event* AllocEvent();
+  void ReleaseEvent(Event* event);
+  void InsertWheel(Event* event);
+  // Pulls heap events that have come inside the wheel horizon into the wheel.
+  void MigrateHeap();
+  // Removes and returns the earliest (when, seq) event with when <= limit,
+  // or nullptr if none. The single ordering authority for Run/RunUntil.
+  Event* ExtractMin(SimTime limit);
+  // Earliest pending time (kNever when empty); used by AdvanceTo's guard.
+  SimTime PeekTime();
+
+  static constexpr SimTime kNever = ~0ull;
+  static constexpr size_t kSlabEvents = 256;
+
+  EngineOptions options_;
   SimTime now_ = 0;
   uint64_t next_seq_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  size_t event_count_ = 0;
+
+  // Timing wheel.
+  std::vector<std::vector<Event*>> slots_;
+  size_t wheel_count_ = 0;
+  uint64_t hint_slot_ = 0;  // absolute slot to start min-scans from
+
+  // Overflow heap for events beyond the wheel horizon.
+  std::priority_queue<Event*, std::vector<Event*>, LaterPtr> heap_;
+
+  // Slab pool.
+  std::vector<std::unique_ptr<Event[]>> slabs_;
+  Event* free_list_ = nullptr;
+
+  EngineStats stats_;
 };
 
 }  // namespace hyperion::sim

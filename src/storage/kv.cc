@@ -112,6 +112,10 @@ Status KvStore::DropIndirect(uint64_t key) {
 Status KvStore::Put(uint64_t key, ByteSpan value) {
   // Release a stale spilled value (overwrite/resize path).
   RETURN_IF_ERROR(DropIndirect(key));
+  // The put path's one copy: the value crosses the mutation/durability
+  // boundary into the index or its spill segment. Charged so experiment
+  // copy-bytes stats cover the whole datapath, not just the buffer layer.
+  AccountBufferCopy(value.size());
   if (value.size() <= kInlineMax) {
     Bytes tagged;
     tagged.reserve(value.size() + 1);
@@ -140,6 +144,23 @@ Result<Bytes> KvStore::Get(uint64_t key) {
   if (tagged[0] == kIndirect) {
     const uint64_t size = GetU64(tagged, 1);
     return store_->Read(ValueSegment(store_id_, key), 0, size);
+  }
+  return DataLoss("corrupt KV value tag");
+}
+
+Result<Buffer> KvStore::GetBuffer(uint64_t key) {
+  ASSIGN_OR_RETURN(Bytes tagged, IndexGet(key));
+  if (tagged.empty()) {
+    return DataLoss("untagged KV value");
+  }
+  if (tagged[0] == kInline) {
+    // Adopt the tagged block and slice past the tag — shares the backing.
+    return Buffer(std::move(tagged)).Slice(1);
+  }
+  if (tagged[0] == kIndirect) {
+    const uint64_t size = GetU64(tagged, 1);
+    ASSIGN_OR_RETURN(Bytes value, store_->Read(ValueSegment(store_id_, key), 0, size));
+    return Buffer(std::move(value));
   }
   return DataLoss("corrupt KV value tag");
 }

@@ -16,6 +16,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/common/buffer.h"
 #include "src/common/result.h"
 #include "src/mem/object_store.h"
 #include "src/storage/bptree.h"
@@ -32,8 +33,14 @@ class KvStore {
  public:
   static Result<KvStore> Create(mem::ObjectStore* store, uint64_t store_id, KvBackend backend);
 
+  // The one copy on the put path happens here, at the mutation/durability
+  // boundary: the value is written into the index or its spill segment.
   Status Put(uint64_t key, ByteSpan value);
   Result<Bytes> Get(uint64_t key);
+  // Zero-copy get: the returned Buffer adopts the bytes read from the store
+  // and slices off the tag — no copy on the way out. Preferred on the
+  // datapath (the RPC response shares the same backing block).
+  Result<Buffer> GetBuffer(uint64_t key);
   Status Delete(uint64_t key);
 
   // Ordered scan; kUnimplemented on the hash backend.

@@ -1,0 +1,223 @@
+// Unit tests for the zero-copy buffer layer: Buffer slice aliasing and
+// refcount lifetime, BufferChain flatten round-trips against Bytes goldens,
+// ChainReader's zero-copy/straddle split, and copy accounting.
+
+#include <gtest/gtest.h>
+
+#include <utility>
+
+#include "src/common/buffer.h"
+#include "src/common/bytes.h"
+
+namespace hyperion {
+namespace {
+
+Bytes MakeBytes(size_t n, uint8_t start) {
+  Bytes b(n);
+  for (size_t i = 0; i < n; ++i) {
+    b[i] = static_cast<uint8_t>(start + i);
+  }
+  return b;
+}
+
+// -- Buffer -------------------------------------------------------------
+
+TEST(BufferTest, AdoptDoesNotCopy) {
+  const uint64_t before = BufferCopiedBytes();
+  Bytes raw = MakeBytes(64, 1);
+  const uint8_t* payload = raw.data();
+  Buffer buffer(std::move(raw));
+  EXPECT_EQ(buffer.data(), payload);  // same allocation, no memcpy
+  EXPECT_EQ(buffer.size(), 64u);
+  EXPECT_EQ(BufferCopiedBytes(), before);
+}
+
+TEST(BufferTest, CopyOfIsAccounted) {
+  const uint64_t bytes_before = BufferCopiedBytes();
+  const uint64_t ops_before = BufferCopyOps();
+  Bytes raw = MakeBytes(100, 0);
+  Buffer copy = Buffer::CopyOf(ByteSpan(raw.data(), raw.size()));
+  EXPECT_NE(copy.data(), raw.data());
+  EXPECT_EQ(copy, Buffer(std::move(raw)));
+  EXPECT_EQ(BufferCopiedBytes(), bytes_before + 100);
+  EXPECT_EQ(BufferCopyOps(), ops_before + 1);
+}
+
+TEST(BufferTest, SliceAliasesParent) {
+  Buffer whole(MakeBytes(32, 0));
+  Buffer slice = whole.Slice(8, 16);
+  EXPECT_EQ(slice.size(), 16u);
+  EXPECT_EQ(slice.data(), whole.data() + 8);  // view into the same block
+  EXPECT_EQ(slice[0], 8);
+  EXPECT_EQ(whole.use_count(), 2);
+  EXPECT_EQ(slice.use_count(), 2);
+}
+
+TEST(BufferTest, SliceKeepsBackingAliveAfterParentDies) {
+  Buffer slice;
+  {
+    Buffer whole(MakeBytes(32, 0));
+    slice = whole.Slice(30);
+  }
+  // The parent is gone; the slice still owns the block.
+  EXPECT_EQ(slice.use_count(), 1);
+  ASSERT_EQ(slice.size(), 2u);
+  EXPECT_EQ(slice[0], 30);
+  EXPECT_EQ(slice[1], 31);
+}
+
+TEST(BufferTest, CopiesShareWithoutDuplicating) {
+  Buffer a(MakeBytes(16, 0));
+  const uint64_t before = BufferCopiedBytes();
+  Buffer b = a;           // refcount bump, not a byte copy
+  Buffer c = a.Slice(0);  // full-range slice, same deal
+  EXPECT_EQ(b.data(), a.data());
+  EXPECT_EQ(c.data(), a.data());
+  EXPECT_EQ(a.use_count(), 3);
+  EXPECT_EQ(BufferCopiedBytes(), before);
+}
+
+TEST(BufferTest, BorrowedDoesNotOwn) {
+  Bytes raw = MakeBytes(8, 0);
+  Buffer view = Buffer::Borrowed(ByteSpan(raw.data(), raw.size()));
+  EXPECT_EQ(view.data(), raw.data());
+  EXPECT_EQ(view.use_count(), 0);
+}
+
+TEST(BufferTest, ToBytesIsAccountedCopy) {
+  Buffer buffer(MakeBytes(24, 5));
+  const uint64_t before = BufferCopiedBytes();
+  Bytes out = buffer.ToBytes();
+  EXPECT_EQ(out, MakeBytes(24, 5));
+  EXPECT_NE(out.data(), buffer.data());
+  EXPECT_EQ(BufferCopiedBytes(), before + 24);
+}
+
+// -- BufferChain --------------------------------------------------------
+
+TEST(BufferChainTest, FlattenMatchesBytesGolden) {
+  // Golden: the contiguous concatenation, built the pre-buffer way.
+  Bytes golden;
+  Bytes a = MakeBytes(10, 0);
+  Bytes b = MakeBytes(5, 100);
+  Bytes c = MakeBytes(20, 200);
+  golden.insert(golden.end(), a.begin(), a.end());
+  golden.insert(golden.end(), b.begin(), b.end());
+  golden.insert(golden.end(), c.begin(), c.end());
+
+  BufferChain chain;
+  chain.Append(Buffer(std::move(a)));
+  chain.Append(Buffer(std::move(b)));
+  chain.Append(Buffer(std::move(c)));
+  EXPECT_EQ(chain.size(), golden.size());
+  EXPECT_EQ(chain.segment_count(), 3u);
+  EXPECT_EQ(chain.Flatten(), golden);
+}
+
+TEST(BufferChainTest, EmptySegmentsAreDropped) {
+  BufferChain chain;
+  chain.Append(Buffer());
+  chain.Append(Buffer(MakeBytes(4, 0)));
+  chain.Append(Buffer(Bytes{}));
+  EXPECT_EQ(chain.segment_count(), 1u);
+  EXPECT_EQ(chain.size(), 4u);
+}
+
+TEST(BufferChainTest, AppendSharesSegments) {
+  Buffer seg(MakeBytes(16, 0));
+  BufferChain chain;
+  const uint64_t before = BufferCopiedBytes();
+  chain.Append(seg);
+  EXPECT_EQ(chain.segment(0).data(), seg.data());
+  EXPECT_EQ(seg.use_count(), 2);
+  EXPECT_EQ(BufferCopiedBytes(), before);
+}
+
+TEST(BufferChainTest, SubChainSharesAndStraddles) {
+  BufferChain chain;
+  chain.Append(Buffer(MakeBytes(10, 0)));
+  chain.Append(Buffer(MakeBytes(10, 10)));
+  const uint64_t before = BufferCopiedBytes();
+  BufferChain mid = chain.SubChain(5, 10);  // last 5 of seg0 + first 5 of seg1
+  EXPECT_EQ(BufferCopiedBytes(), before);  // slicing is free
+  EXPECT_EQ(mid.size(), 10u);
+  EXPECT_EQ(mid.segment_count(), 2u);
+  EXPECT_EQ(mid.segment(0).data(), chain.segment(0).data() + 5);
+  EXPECT_EQ(mid.Flatten(), MakeBytes(10, 5));
+}
+
+TEST(BufferChainTest, GatherIsFreeForSingleSegment) {
+  BufferChain chain(Buffer(MakeBytes(32, 0)));
+  const uint64_t before = BufferCopiedBytes();
+  Buffer gathered = chain.Gather();
+  EXPECT_EQ(gathered.data(), chain.segment(0).data());
+  EXPECT_EQ(BufferCopiedBytes(), before);
+}
+
+TEST(BufferChainTest, GatherCopiesMultiSegment) {
+  BufferChain chain;
+  chain.Append(Buffer(MakeBytes(8, 0)));
+  chain.Append(Buffer(MakeBytes(8, 8)));
+  const uint64_t before = BufferCopiedBytes();
+  Buffer gathered = chain.Gather();
+  EXPECT_EQ(gathered, Buffer(MakeBytes(16, 0)));
+  EXPECT_EQ(BufferCopiedBytes(), before + 16);
+}
+
+TEST(BufferChainTest, CopyToRoundTrips) {
+  BufferChain chain;
+  chain.Append(Buffer(MakeBytes(7, 1)));
+  chain.Append(Buffer(MakeBytes(9, 8)));
+  Bytes out(chain.size());
+  chain.CopyTo(MutableByteSpan(out.data(), out.size()));
+  EXPECT_EQ(out, MakeBytes(16, 1));
+}
+
+// -- ChainReader --------------------------------------------------------
+
+TEST(ChainReaderTest, InSegmentReadIsZeroCopy) {
+  BufferChain chain;
+  chain.Append(Buffer(MakeBytes(16, 0)));
+  chain.Append(Buffer(MakeBytes(16, 16)));
+  ChainReader reader(chain);
+  Bytes scratch(32);
+  const uint64_t before = BufferCopiedBytes();
+  ByteSpan first = reader.Next(16, MutableByteSpan(scratch.data(), scratch.size()));
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(first.data(), chain.segment(0).data());  // points into the segment
+  EXPECT_EQ(BufferCopiedBytes(), before);
+}
+
+TEST(ChainReaderTest, StraddlingReadUsesScratchAndAccounts) {
+  BufferChain chain;
+  chain.Append(Buffer(MakeBytes(16, 0)));
+  chain.Append(Buffer(MakeBytes(16, 16)));
+  ChainReader reader(chain);
+  Bytes scratch(32);
+  Bytes discard(8);
+  reader.Next(8, MutableByteSpan(discard.data(), discard.size()));
+  const uint64_t before = BufferCopiedBytes();
+  ByteSpan straddle = reader.Next(16, MutableByteSpan(scratch.data(), scratch.size()));
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(straddle.data(), scratch.data());  // assembled in scratch
+  EXPECT_EQ(BufferCopiedBytes(), before + 16);
+  Bytes expect = MakeBytes(16, 8);
+  EXPECT_TRUE(std::equal(straddle.begin(), straddle.end(), expect.begin()));
+  // The remainder still reads correctly after the straddle.
+  ByteSpan rest = reader.Next(8, MutableByteSpan(scratch.data(), scratch.size()));
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(rest[0], 24);
+  EXPECT_EQ(reader.remaining(), 0u);
+}
+
+TEST(ChainReaderTest, OverrunClearsOk) {
+  BufferChain chain(Buffer(MakeBytes(4, 0)));
+  ChainReader reader(chain);
+  Bytes scratch(8);
+  ByteSpan got = reader.Next(8, MutableByteSpan(scratch.data(), scratch.size()));
+  EXPECT_TRUE(got.empty());
+  EXPECT_FALSE(reader.ok());
+}
+
+}  // namespace
+}  // namespace hyperion

@@ -210,6 +210,70 @@ TEST(BytesTest, Crc32cDetectsBitFlip) {
   EXPECT_NE(before, Crc32c(ByteSpan(data.data(), data.size())));
 }
 
+TEST(BytesTest, Crc32cHardwareMatchesSoftware) {
+  if (!internal::Crc32cHardwareAvailable()) {
+    GTEST_SKIP() << "no hardware CRC32C on this machine";
+  }
+  // Random inputs at every length 0..64 (covers the 8/4/1-byte instruction
+  // tails) plus large odd-sized blocks.
+  Rng rng(42);
+  for (size_t len = 0; len <= 64; ++len) {
+    Bytes data(len);
+    for (auto& byte : data) {
+      byte = static_cast<uint8_t>(rng.Next());
+    }
+    ByteSpan span(data.data(), data.size());
+    EXPECT_EQ(internal::Crc32cHardware(span), internal::Crc32cSoftware(span))
+        << "length " << len;
+  }
+  for (size_t len : {1021u, 4096u, 65537u}) {
+    Bytes data(len);
+    for (auto& byte : data) {
+      byte = static_cast<uint8_t>(rng.Next());
+    }
+    ByteSpan span(data.data(), data.size());
+    EXPECT_EQ(internal::Crc32cHardware(span), internal::Crc32cSoftware(span))
+        << "length " << len;
+  }
+}
+
+TEST(BytesTest, ByteWriterMatchesFreeFunctions) {
+  Bytes golden;
+  PutU16(golden, 0x1234);
+  PutU32(golden, 0xdeadbeef);
+  PutU64(golden, 0x0102030405060708ull);
+  PutString(golden, "hyperion");
+  Bytes tail = {9, 9, 9};
+  PutBytes(golden, ByteSpan(tail.data(), tail.size()));
+
+  ByteWriter writer(golden.size());
+  writer.PutU16(0x1234);
+  writer.PutU32(0xdeadbeef);
+  writer.PutU64(0x0102030405060708ull);
+  writer.PutString("hyperion");
+  writer.PutBytes(ByteSpan(tail.data(), tail.size()));
+  EXPECT_EQ(writer.bytes(), golden);
+  EXPECT_EQ(writer.size(), golden.size());
+
+  Bytes taken = writer.Take();
+  EXPECT_EQ(taken, golden);
+  EXPECT_EQ(writer.size(), 0u);
+}
+
+TEST(BytesTest, PutGetRoundTripAllWidths) {
+  Bytes buf;
+  PutU16(buf, 0xfffe);
+  PutU32(buf, 0x80000001u);
+  PutU64(buf, 0x8000000000000001ull);
+  ByteSpan span(buf.data(), buf.size());
+  EXPECT_EQ(GetU16(span, 0), 0xfffe);
+  EXPECT_EQ(GetU32(span, 2), 0x80000001u);
+  EXPECT_EQ(GetU64(span, 6), 0x8000000000000001ull);
+  // Little-endian wire layout is pinned (cross-machine determinism).
+  EXPECT_EQ(buf[0], 0xfe);
+  EXPECT_EQ(buf[1], 0xff);
+}
+
 TEST(BytesTest, HexFormatting) {
   Bytes data = {0xde, 0xad, 0xbe, 0xef};
   EXPECT_EQ(ToHex(ByteSpan(data.data(), data.size())), "deadbeef");

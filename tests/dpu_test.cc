@@ -128,6 +128,33 @@ TEST_F(DpuTest, RpcSerializationRoundTrip) {
   EXPECT_EQ(decoded->status.message(), "missing key");
 }
 
+TEST_F(DpuTest, RpcFrameMatchesContiguousWireFormat) {
+  // The scatter-gather frame codec is wire-compatible with the contiguous
+  // Bytes codec: flattening a frame yields byte-identical output, and the
+  // frame never copies the payload (it rides as a shared segment).
+  RpcRequest request{ServiceId::kLog, LogOp::kAppend, Buffer(Bytes(300, 0xab))};
+  const Bytes golden = SerializeRequest(request);
+  BufferChain frame = SerializeRequestFrame(request);
+  EXPECT_EQ(frame.Flatten(), golden);
+  ASSERT_EQ(frame.segment_count(), 2u);  // header + payload
+  EXPECT_EQ(frame.segment(1).data(), request.payload.data());  // shared, not copied
+
+  auto parsed = ParseRequestFrame(frame);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->service, ServiceId::kLog);
+  EXPECT_EQ(parsed->opcode, LogOp::kAppend);
+  EXPECT_EQ(parsed->payload, request.payload);
+
+  RpcResponse response = RpcResponse::Ok(Buffer(Bytes(128, 0x11)));
+  const Bytes response_golden = SerializeResponse(response);
+  BufferChain response_frame = SerializeResponseFrame(response);
+  EXPECT_EQ(response_frame.Flatten(), response_golden);
+  auto decoded = ParseResponseFrame(response_frame);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->status.ok());
+  EXPECT_EQ(decoded->payload, response.payload);
+}
+
 TEST_F(DpuTest, KvServiceOverRpc) {
   BootAndInstall();
   Bytes put;

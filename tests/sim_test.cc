@@ -223,4 +223,138 @@ TEST(EngineTest, ScheduleAtAbsoluteTime) {
   EXPECT_EQ(fired_at, 250);
 }
 
+// -- Engine fast path (PR 2) -------------------------------------------
+
+// Runs a deterministic mixed workload (bursts of same-time ties, delays
+// inside and far beyond the wheel horizon, events scheduling events) and
+// records the (time, tag) execution sequence.
+std::vector<std::pair<SimTime, int>> RunMixedWorkload(const EngineOptions& options) {
+  Engine engine(options);
+  std::vector<std::pair<SimTime, int>> trace;
+  uint64_t lcg = 12345;
+  auto next = [&lcg] {
+    lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+    return lcg >> 33;
+  };
+  for (int i = 0; i < 400; ++i) {
+    const uint64_t r = next();
+    // ~1/4 of events land far past the default wheel horizon (~4.2 ms).
+    const Duration delay = (r % 4 == 0) ? 10'000'000 + r % 50'000'000 : r % 3'000'000;
+    engine.ScheduleAfter(delay, [&trace, &engine, i] {
+      trace.emplace_back(engine.Now(), i);
+      if (i % 7 == 0) {
+        engine.ScheduleAfter(500, [&trace, &engine, i] {
+          trace.emplace_back(engine.Now(), 1000 + i);
+        });
+      }
+    });
+  }
+  // Same-time ties in a burst.
+  for (int i = 0; i < 32; ++i) {
+    engine.ScheduleAt(2'000'000, [&trace, i] { trace.emplace_back(2'000'000, 2000 + i); });
+  }
+  engine.Run();
+  return trace;
+}
+
+TEST(EngineFastPathTest, AllOptionPermutationsExecuteIdentically) {
+  // The wheel, the pool, and the wheel geometry are pure performance knobs:
+  // every permutation must produce the exact same execution sequence.
+  const std::vector<std::pair<SimTime, int>> golden =
+      RunMixedWorkload({.use_timing_wheel = false, .pool_events = false});
+  for (bool wheel : {false, true}) {
+    for (bool pool : {false, true}) {
+      EngineOptions options{.use_timing_wheel = wheel, .pool_events = pool};
+      EXPECT_EQ(RunMixedWorkload(options), golden) << "wheel=" << wheel << " pool=" << pool;
+    }
+  }
+  // A tiny wheel forces heavy heap overflow + migration; order still holds.
+  EngineOptions tiny{.use_timing_wheel = true, .pool_events = true,
+                     .slot_shift = 8, .slot_count = 16};  // 4.1 us horizon
+  EXPECT_EQ(RunMixedWorkload(tiny), golden);
+}
+
+TEST(EngineFastPathTest, HeapOverflowMigratesIntoWheel) {
+  Engine engine;  // defaults: wheel on, ~4.2 ms horizon
+  std::vector<int> order;
+  engine.ScheduleAfter(10'000'000, [&] { order.push_back(100); });  // past the horizon
+  for (int i = 1; i <= 9; ++i) {  // in-wheel events pulling now_ forward
+    engine.ScheduleAfter(i * 1'000'000, [&order, i] { order.push_back(i); });
+  }
+  // Horizon is 1024 x 4096 ns ~= 4.19 ms: 1-4 ms are wheel-eligible, the
+  // rest (5-9 ms and the 10 ms target) overflow to the heap.
+  EXPECT_EQ(engine.stats().wheel_scheduled, 4u);
+  EXPECT_EQ(engine.stats().heap_scheduled, 6u);
+  EXPECT_EQ(engine.Run(), 10u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5, 6, 7, 8, 9, 100}));
+  // Every overflow event entered the wheel once virtual time got close.
+  EXPECT_EQ(engine.stats().heap_migrated, 6u);
+}
+
+TEST(EngineFastPathTest, RunUntilWithPooledEvents) {
+  Engine engine(EngineOptions{.pool_events = true});
+  int fired = 0;
+  // Two waves through the same pool: release + reuse across RunUntil calls.
+  for (int i = 0; i < 100; ++i) {
+    engine.ScheduleAfter(10 + i, [&] { ++fired; });
+  }
+  EXPECT_EQ(engine.RunUntil(59), 50u);
+  for (int i = 0; i < 100; ++i) {
+    engine.ScheduleAfter(1'000 + i, [&] { ++fired; });
+  }
+  EXPECT_EQ(engine.RunUntil(10'000), 150u);
+  EXPECT_EQ(fired, 200);
+  EXPECT_TRUE(engine.Empty());
+  // Steady-state slab reuse: 200 events fit the first slab.
+  EXPECT_EQ(engine.stats().pool_slabs, 1u);
+}
+
+TEST(EngineFastPathTest, StatsClassifyCallbacks) {
+  Engine engine;
+  int sink = 0;
+  engine.ScheduleAfter(1, [&sink] { ++sink; });  // small capture: inline
+  struct Big {
+    int* sink;
+    char pad[EventFn::kInlineBytes];
+  } big{&sink, {}};
+  engine.ScheduleAfter(2, [big] { ++*big.sink; });  // > 48 bytes: boxed
+  EXPECT_EQ(engine.stats().inline_callbacks, 1u);
+  EXPECT_EQ(engine.stats().boxed_callbacks, 1u);
+  engine.Run();
+  EXPECT_EQ(sink, 2);
+}
+
+TEST(EventFnTest, InlineAndBoxedBothInvoke) {
+  int calls = 0;
+  EventFn small([&calls] { ++calls; });
+  EXPECT_TRUE(small.is_inline());
+  small();
+  struct Huge {
+    int* calls;
+    char pad[64];
+  } huge{&calls, {}};
+  EventFn big([huge] { ++*huge.calls; });
+  EXPECT_FALSE(big.is_inline());
+  big();
+  EXPECT_EQ(calls, 2);
+
+  // Move transfers the callable; the source becomes empty.
+  EventFn moved = std::move(big);
+  moved();
+  EXPECT_EQ(calls, 3);
+  EXPECT_FALSE(static_cast<bool>(big));  // NOLINT(bugprone-use-after-move)
+}
+
+TEST(EngineFastPathTest, DestructorReleasesPendingEvents) {
+  // Pending inline and boxed events are destroyed cleanly (ASan-checked).
+  auto token = std::make_shared<int>(7);
+  {
+    Engine engine;
+    engine.ScheduleAfter(5, [token] { (void)*token; });
+    engine.ScheduleAfter(100'000'000, [token] { (void)*token; });
+    EXPECT_EQ(token.use_count(), 3);
+  }
+  EXPECT_EQ(token.use_count(), 1);
+}
+
 }  // namespace coverage_extras
