@@ -1,0 +1,295 @@
+// Experiment E11 — sharded parallel simulation scaling (PR 3).
+//
+// Measures the ParallelEngine on the two cluster workloads:
+//
+//   NetKvWeakScaling    one KV DPU node per shard, fixed per-node load.
+//                       sim_events_per_s / sim_ops_per_s grow with the
+//                       cluster because nodes serve in parallel *virtual*
+//                       time; wall_events_per_s shows what the host pays
+//                       per simulated event as shards are added.
+//   NetKvStrongScaling  fixed 8-node cluster spread over 1..8 shards —
+//                       the event trace is bit-identical by construction,
+//                       so only wall_events_per_s moves.
+//   NetKvSpeedup        4 shards vs 1 shard in one iteration; the headline
+//                       speedup counters land in BENCH_PR3.json.
+//   GraphBsp            partitioned BSP rank propagation where each
+//                       superstep's cross-partition contributions travel
+//                       as one batched Channel<T> message per edge-cut.
+//
+// On a single-core host wall_events_per_s cannot rise with thread count;
+// see EXPERIMENTS.md for how to read the two axes. Generate the JSON with
+//   bench_cluster_scaling --benchmark_format=json > BENCH_PR3.json
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "src/common/rng.h"
+#include "src/dpu/cluster.h"
+#include "src/sim/parallel.h"
+#include "src/sim/time.h"
+
+namespace {
+
+using namespace hyperion;  // NOLINT
+
+dpu::ClusterOptions NetKvOptions(uint32_t nodes, uint32_t shards) {
+  dpu::ClusterOptions options;
+  options.num_nodes = nodes;
+  options.num_shards = shards;
+  options.workload.clients_per_node = 4;
+  options.workload.ops_per_client = 16;
+  options.workload.value_bytes = 256;
+  options.workload.key_space = 512;
+  options.workload.write_pct = 50;  // YCSB-A
+  return options;
+}
+
+struct NetKvRates {
+  double sim_events_per_s = 0;
+  double sim_ops_per_s = 0;
+  double wall_seconds = 0;
+  uint64_t events = 0;
+};
+
+NetKvRates RunNetKv(const dpu::ClusterOptions& options) {
+  dpu::KvCluster cluster(options);  // boot + preload excluded from wall time
+  const auto wall_start = std::chrono::steady_clock::now();
+  const dpu::ClusterResult result = cluster.Run();
+  const std::chrono::duration<double> wall = std::chrono::steady_clock::now() - wall_start;
+  CHECK_EQ(result.failed_ops, 0u);
+  const double sim_seconds = sim::ToSeconds(result.makespan_ns);
+  NetKvRates rates;
+  rates.sim_events_per_s = static_cast<double>(result.events_run) / sim_seconds;
+  rates.sim_ops_per_s = static_cast<double>(result.ok_ops) / sim_seconds;
+  rates.wall_seconds = wall.count();
+  rates.events = result.events_run;
+  return rates;
+}
+
+void ReportNetKv(benchmark::State& state, const std::vector<NetKvRates>& runs) {
+  double sim_events = 0;
+  double sim_ops = 0;
+  double wall_seconds = 0;
+  uint64_t events = 0;
+  for (const NetKvRates& run : runs) {
+    sim_events += run.sim_events_per_s;
+    sim_ops += run.sim_ops_per_s;
+    wall_seconds += run.wall_seconds;
+    events += run.events;
+  }
+  const auto n = static_cast<double>(runs.size());
+  state.counters["sim_events_per_s"] = sim_events / n;
+  state.counters["sim_ops_per_s"] = sim_ops / n;
+  state.counters["wall_events_per_s"] = static_cast<double>(events) / wall_seconds;
+}
+
+// Weak scaling: the cluster grows with the shard count (one node per
+// shard) while per-node offered load stays fixed.
+void BM_NetKvWeakScaling(benchmark::State& state) {
+  const auto shards = static_cast<uint32_t>(state.range(0));
+  std::vector<NetKvRates> runs;
+  for (auto _ : state) {
+    runs.push_back(RunNetKv(NetKvOptions(shards, shards)));
+  }
+  ReportNetKv(state, runs);
+  state.SetLabel("netkv/nodes:" + std::to_string(shards) +
+                 "/shards:" + std::to_string(shards));
+}
+
+// Strong scaling: a fixed 8-node cluster over 1..8 shards. Determinism
+// makes the virtual-time numbers identical across rows; the wall rate
+// isolates the engine's parallel overhead (barriers, outbox exchange).
+void BM_NetKvStrongScaling(benchmark::State& state) {
+  const auto shards = static_cast<uint32_t>(state.range(0));
+  std::vector<NetKvRates> runs;
+  for (auto _ : state) {
+    runs.push_back(RunNetKv(NetKvOptions(8, shards)));
+  }
+  ReportNetKv(state, runs);
+  state.SetLabel("netkv/nodes:8/shards:" + std::to_string(shards));
+}
+
+// Headline acceptance row: 4-shard vs 1-shard netkv in one iteration.
+// speedup_sim_events_per_s is the modelled-throughput gain of the 4-node
+// sharded cluster over the single node (>= 2x expected); speedup_wall is
+// the host-side gain, bounded by the physical core count.
+void BM_NetKvSpeedup(benchmark::State& state) {
+  double base_sim = 0;
+  double wide_sim = 0;
+  double base_wall = 0;
+  double wide_wall = 0;
+  for (auto _ : state) {
+    const NetKvRates base = RunNetKv(NetKvOptions(1, 1));
+    const NetKvRates wide = RunNetKv(NetKvOptions(4, 4));
+    base_sim += base.sim_events_per_s;
+    wide_sim += wide.sim_events_per_s;
+    base_wall += static_cast<double>(base.events) / base.wall_seconds;
+    wide_wall += static_cast<double>(wide.events) / wide.wall_seconds;
+  }
+  state.counters["speedup_sim_events_per_s"] = wide_sim / base_sim;
+  state.counters["speedup_wall_events_per_s"] = wide_wall / base_wall;
+  state.SetLabel("netkv 4 shards vs 1");
+}
+
+// -- Graph analytics: BSP rank propagation over Channel<T> ------------------
+
+constexpr uint32_t kPartitions = 4;
+constexpr uint32_t kVertices = 256;
+constexpr uint32_t kOutDegree = 4;
+constexpr uint32_t kSupersteps = 16;
+
+struct SyntheticGraph {
+  // adjacency[v] = out-neighbours; vertex v lives on partition v % kPartitions.
+  std::vector<std::vector<uint32_t>> adjacency;
+  uint64_t edges = 0;
+};
+
+SyntheticGraph BuildGraph() {
+  SyntheticGraph graph;
+  graph.adjacency.resize(kVertices);
+  Rng rng(7);
+  for (uint32_t v = 0; v < kVertices; ++v) {
+    graph.adjacency[v].push_back((v + 1) % kVertices);  // ring keeps it connected
+    for (uint32_t e = 1; e < kOutDegree; ++e) {
+      graph.adjacency[v].push_back(static_cast<uint32_t>(rng.Uniform(kVertices)));
+    }
+    graph.edges += kOutDegree;
+  }
+  return graph;
+}
+
+double RunGraphBsp(const SyntheticGraph& graph, uint32_t shards, uint64_t* messages) {
+  using Contributions = std::vector<std::pair<uint32_t, double>>;
+  sim::ParallelEngineOptions options;
+  options.num_shards = shards;
+  options.lookahead_floor = 100;
+  sim::ParallelEngine engine(options);
+  const sim::Duration step = 10 * engine.lookahead();
+
+  struct Partition {
+    std::vector<uint32_t> vertices;
+    std::vector<double> rank;    // parallel to `vertices`
+    std::vector<double> inbox;   // accumulated contributions for this step
+    uint32_t source = 0;
+    uint32_t shard = 0;
+  };
+  std::vector<Partition> parts(kPartitions);
+  std::vector<uint32_t> local_index(kVertices);
+  for (uint32_t v = 0; v < kVertices; ++v) {
+    Partition& part = parts[v % kPartitions];
+    local_index[v] = static_cast<uint32_t>(part.vertices.size());
+    part.vertices.push_back(v);
+  }
+  for (uint32_t p = 0; p < kPartitions; ++p) {
+    parts[p].shard = p * shards / kPartitions;
+    parts[p].source = engine.AddSource(parts[p].shard);
+    parts[p].rank.assign(parts[p].vertices.size(), 1.0 / kVertices);
+    parts[p].inbox.assign(parts[p].vertices.size(), 0.0);
+  }
+  // channels[p][q]: partition p's contributions destined for q's vertices,
+  // one batched message per superstep per cut.
+  std::vector<std::vector<std::unique_ptr<sim::Channel<Contributions>>>> channels(kPartitions);
+  for (uint32_t p = 0; p < kPartitions; ++p) {
+    channels[p].resize(kPartitions);
+    for (uint32_t q = 0; q < kPartitions; ++q) {
+      Partition* dst = &parts[q];
+      channels[p][q] = std::make_unique<sim::Channel<Contributions>>(
+          &engine, parts[p].source, parts[q].shard,
+          [dst, &local_index](Contributions batch, sim::SimTime) {
+            for (const auto& [vertex, value] : batch) {
+              dst->inbox[local_index[vertex]] += value;
+            }
+          });
+    }
+  }
+  // Superstep s on partition p: fold the inbox into ranks, then ship this
+  // step's contributions; lookahead delays land them before step s + 1.
+  for (uint32_t s = 0; s < kSupersteps; ++s) {
+    const sim::SimTime at = 1000 + uint64_t{s} * step;
+    for (uint32_t p = 0; p < kPartitions; ++p) {
+      Partition* part = &parts[p];
+      engine.shard(part->shard).ScheduleAt(at, [part, &graph, &channels, &engine, p, s, at] {
+        if (s > 0) {
+          for (size_t i = 0; i < part->rank.size(); ++i) {
+            part->rank[i] = 0.15 / kVertices + 0.85 * part->inbox[i];
+            part->inbox[i] = 0.0;
+          }
+        }
+        std::vector<Contributions> out(kPartitions);
+        for (size_t i = 0; i < part->vertices.size(); ++i) {
+          const uint32_t v = part->vertices[i];
+          const double share = part->rank[i] / static_cast<double>(graph.adjacency[v].size());
+          for (const uint32_t dst : graph.adjacency[v]) {
+            out[dst % kPartitions].push_back({dst, share});
+          }
+        }
+        for (uint32_t q = 0; q < kPartitions; ++q) {
+          channels[p][q]->Send(at + engine.lookahead(), std::move(out[q]));
+        }
+      });
+    }
+  }
+  engine.Run();
+  *messages = engine.stats().messages;
+  double rank_sum = 0;
+  for (const Partition& part : parts) {
+    for (const double rank : part.rank) {
+      rank_sum += rank;
+    }
+  }
+  return rank_sum;
+}
+
+void BM_GraphBsp(benchmark::State& state) {
+  const auto shards = static_cast<uint32_t>(state.range(0));
+  const SyntheticGraph graph = BuildGraph();
+  uint64_t edges = 0;
+  uint64_t messages = 0;
+  double rank_sum = 0;
+  for (auto _ : state) {
+    rank_sum = RunGraphBsp(graph, shards, &messages);
+    edges += graph.edges * kSupersteps;
+  }
+  state.counters["wall_edges_per_s"] =
+      benchmark::Counter(static_cast<double>(edges), benchmark::Counter::kIsRate);
+  state.counters["messages"] = static_cast<double>(messages);
+  // Layout-invariant check value: identical for every shard count.
+  state.counters["rank_sum_ppm"] = rank_sum * 1e6;
+  state.SetLabel("graph/partitions:4/shards:" + std::to_string(shards));
+}
+
+void RegisterAll() {
+  for (int64_t shards : {1, 2, 4, 8}) {
+    benchmark::RegisterBenchmark(
+        ("E11/NetKvWeakScaling/shards:" + std::to_string(shards)).c_str(), BM_NetKvWeakScaling)
+        ->Args({shards})
+        ->Iterations(3)
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(
+        ("E11/NetKvStrongScaling/shards:" + std::to_string(shards)).c_str(),
+        BM_NetKvStrongScaling)
+        ->Args({shards})
+        ->Iterations(3)
+        ->Unit(benchmark::kMillisecond);
+  }
+  benchmark::RegisterBenchmark("E11/NetKvSpeedup/4v1", BM_NetKvSpeedup)
+      ->Iterations(3)
+      ->Unit(benchmark::kMillisecond);
+  for (int64_t shards : {1, 2, 4}) {
+    benchmark::RegisterBenchmark(("E11/GraphBsp/shards:" + std::to_string(shards)).c_str(),
+                                 BM_GraphBsp)
+        ->Args({shards})
+        ->Iterations(20)
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+const int kRegistered = (RegisterAll(), 0);
+
+}  // namespace

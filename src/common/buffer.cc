@@ -1,18 +1,23 @@
 #include "src/common/buffer.h"
 
+#include <atomic>
+
 namespace hyperion {
 
 namespace {
-uint64_t g_copied_bytes = 0;
-uint64_t g_copy_ops = 0;
+// Relaxed atomics: shard worker threads (sim/parallel.h) copy buffers
+// concurrently, and the totals are monotonic tallies read only at
+// quiescence — no ordering with respect to other memory is needed.
+std::atomic<uint64_t> g_copied_bytes{0};
+std::atomic<uint64_t> g_copy_ops{0};
 }  // namespace
 
-uint64_t BufferCopiedBytes() { return g_copied_bytes; }
-uint64_t BufferCopyOps() { return g_copy_ops; }
+uint64_t BufferCopiedBytes() { return g_copied_bytes.load(std::memory_order_relaxed); }
+uint64_t BufferCopyOps() { return g_copy_ops.load(std::memory_order_relaxed); }
 
 void AccountBufferCopy(uint64_t bytes) {
-  g_copied_bytes += bytes;
-  ++g_copy_ops;
+  g_copied_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  g_copy_ops.fetch_add(1, std::memory_order_relaxed);
 }
 
 Buffer Buffer::CopyOf(ByteSpan data) {

@@ -14,6 +14,21 @@
 // Flatten, straddling ChainReader reads) is charged to a process-wide
 // counter so experiments can report copies-per-request (see
 // EXPERIMENTS.md, "copy-bytes accounting").
+//
+// Thread-safety (audited for the sharded parallel simulation, PR 3):
+//   * The copy counters are relaxed atomics — accounting stays correct when
+//     shard worker threads copy concurrently.
+//   * The backing-block reference count is a std::shared_ptr control block,
+//     whose increments/decrements are atomic: distinct Buffer values (and
+//     slices) that share one block may be created, copied, and destroyed
+//     from different threads — exactly what happens when an RPC payload
+//     slice rides a cross-shard message.
+//   * A single Buffer/BufferChain *object* is still not synchronized; hand
+//     a value across shards by moving it through a channel message (the
+//     barrier provides the happens-before edge), never by sharing one
+//     object between concurrently running shards.
+//   * Borrowed() buffers carry no refcount at all; they must stay confined
+//     to the scope (and shard) that owns the underlying memory.
 
 #ifndef HYPERION_SRC_COMMON_BUFFER_H_
 #define HYPERION_SRC_COMMON_BUFFER_H_
@@ -32,7 +47,7 @@ namespace hyperion {
 // -- Copy accounting ---------------------------------------------------------
 
 // Monotonic totals of bytes/operations memcpy'd through the buffer layer
-// since process start (single-threaded simulator: plain counters).
+// since process start (relaxed atomics: exact under shard worker threads).
 uint64_t BufferCopiedBytes();
 uint64_t BufferCopyOps();
 // Internal: charge a copy. Exposed so chain helpers outside buffer.cc can

@@ -1,0 +1,160 @@
+// Sharded multi-DPU cluster simulation (PR 3).
+//
+// KvCluster composes the pieces the parallel-simulation layer introduced
+// into the paper's §3 picture — a rack of self-hosting DPUs serving a
+// partitioned KV service — and runs it across ParallelEngine shards:
+//
+//   * Every node is a full Hyperion DPU (its own private cost engine, NVMe,
+//     object store, RPC services) plus a population of closed-loop clients
+//     colocated on the node's shard.
+//   * Keys hash-partition across nodes with the same placement the
+//     synchronous DistributedKvClient uses; an op whose owner is another
+//     node crosses shards as a serialized RPC frame (ShardedRpcNode).
+//   * `num_shards` maps nodes onto shards in contiguous blocks. The result
+//     snapshot is bit-identical for any shard count and with threads on or
+//     off — tests/cluster_test.cc pins num_shards in {1, 2, 4} — because
+//     nodes share no mutable state and cross-node messages merge in
+//     (time, source, seq) order.
+//
+// bench_cluster_scaling uses it for the netkv scaling experiment; the
+// determinism regression uses the ClusterResult snapshot.
+
+#ifndef HYPERION_SRC_DPU_CLUSTER_H_
+#define HYPERION_SRC_DPU_CLUSTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/dpu/distributed.h"
+#include "src/dpu/hyperion.h"
+#include "src/dpu/services.h"
+#include "src/sim/parallel.h"
+#include "src/sim/stats.h"
+
+namespace hyperion::dpu {
+
+struct ClusterWorkload {
+  uint32_t clients_per_node = 8;
+  uint32_t ops_per_client = 32;
+  uint32_t value_bytes = 256;
+  uint64_t key_space = 2048;
+  uint32_t write_pct = 50;  // percent of ops that are puts (YCSB-A at 50)
+  uint64_t seed = 21;
+};
+
+struct ClusterOptions {
+  uint32_t num_nodes = 4;
+  // 0 defaults to one shard per node (full spatial parallelism). Nodes map
+  // to shards in contiguous blocks so the (time, source, seq) merge order
+  // is independent of the shard count.
+  uint32_t num_shards = 0;
+  bool use_threads = true;
+  sim::Duration lookahead_floor = 100;
+  storage::KvBackend backend = storage::KvBackend::kBTree;
+  net::FabricParams fabric;  // wire model for cross-node frames
+  ClusterWorkload workload;
+  // Trimmed per-node DPU: the cluster experiments care about communication
+  // structure, not per-node capacity, and eight full-size nodes would pay
+  // construction time for memory the workload never touches.
+  uint32_t nvme_devices = 1;
+  uint64_t lbas_per_device = 32768;
+  uint64_t dram_bytes = 64ull << 20;
+  uint64_t hbm_bytes = 16ull << 20;
+};
+
+// Everything observable a run produces, in deterministic form: equality
+// across two runs (or two shard layouts) means the traces matched.
+struct ClusterNodeResult {
+  sim::SimTime node_clock_ns = 0;  // the node pipeline's final virtual time
+  uint64_t rpcs_served = 0;
+  uint64_t ok_ops = 0;  // ops issued by this node's clients
+  uint64_t failed_ops = 0;
+
+  bool operator==(const ClusterNodeResult&) const = default;
+};
+
+struct ClusterResult {
+  uint64_t ok_ops = 0;
+  uint64_t failed_ops = 0;
+  uint64_t events_run = 0;      // across all shard engines
+  uint64_t messages = 0;        // channel messages (layout-invariant)
+  // Clients start after the slowest node finishes boot + preload (start_ns),
+  // so the measured window excludes the ~2.8 s virtual boot sequence;
+  // makespan_ns is last client completion minus start_ns.
+  sim::SimTime start_ns = 0;
+  sim::SimTime makespan_ns = 0;
+  // Client-observed latency merged across nodes (Histogram::Merge).
+  uint64_t latency_count = 0;
+  uint64_t latency_p50_ns = 0;
+  uint64_t latency_p99_ns = 0;
+  uint64_t latency_max_ns = 0;
+  std::vector<ClusterNodeResult> nodes;
+
+  bool operator==(const ClusterResult&) const = default;
+};
+
+class KvCluster {
+ public:
+  explicit KvCluster(const ClusterOptions& options);
+  KvCluster(const KvCluster&) = delete;
+  KvCluster& operator=(const KvCluster&) = delete;
+  ~KvCluster();
+
+  uint32_t num_nodes() const { return static_cast<uint32_t>(nodes_.size()); }
+  uint32_t num_shards() const { return engine_->num_shards(); }
+  uint32_t ShardOf(uint32_t node) const;
+
+  sim::ParallelEngine& engine() { return *engine_; }
+  ShardedRpcNode& endpoint(uint32_t node) { return *nodes_[node]->endpoint; }
+
+  // Runs the closed-loop workload to quiescence and snapshots the result.
+  // One-shot: construct a fresh cluster per run.
+  ClusterResult Run();
+
+  // Merged client-observed latency across nodes (valid after Run()).
+  const sim::Histogram& merged_latency() const { return merged_latency_; }
+
+ private:
+  struct Client {
+    uint32_t remaining = 0;
+  };
+
+  // One simulated DPU node: private clock, full Hyperion, its shard
+  // endpoint, and the colocated client population. Nodes interact only
+  // through ShardedRpcNode messages — no shared mutable state, which is
+  // what makes the shard layout unobservable.
+  struct Node {
+    Node(KvCluster* cluster, uint32_t id, uint32_t shard);
+
+    uint32_t id;
+    uint32_t shard;
+    sim::Engine clock;  // private cost engine (never holds events)
+    net::Fabric fabric;
+    Hyperion dpu;
+    std::unique_ptr<HyperionServices> services;
+    std::unique_ptr<ShardedRpcNode> endpoint;
+    std::unique_ptr<ShardedKvClient> kv;
+    Rng rng;
+    sim::Histogram latency;
+    std::vector<Client> clients;
+    uint64_t ok_ops = 0;
+    uint64_t failed_ops = 0;
+    sim::SimTime last_completion = 0;
+  };
+
+  void Preload();
+  void IssueOp(Node& node, uint32_t client);
+
+  ClusterOptions options_;
+  Bytes value_;  // shared value pattern for puts
+  std::unique_ptr<sim::ParallelEngine> engine_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  sim::Histogram merged_latency_;
+  bool ran_ = false;
+};
+
+}  // namespace hyperion::dpu
+
+#endif  // HYPERION_SRC_DPU_CLUSTER_H_

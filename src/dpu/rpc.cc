@@ -210,4 +210,65 @@ Result<RpcResponse> RpcClient::CallWithDeadline(const RpcRequest& request,
   return last_error;
 }
 
+ShardedRpcNode::ShardedRpcNode(sim::ParallelEngine* engine, uint32_t shard, RpcServer* server,
+                               sim::Engine* node_clock, const net::FabricParams& wire,
+                               double link_gbps)
+    : engine_(engine),
+      shard_(shard),
+      source_(engine->AddSource(shard)),
+      server_(server),
+      node_clock_(node_clock),
+      wire_(wire),
+      link_gbps_(link_gbps) {
+  // The fixed path cost of a zero-byte message bounds every frame's latency
+  // from below: that is this node's contribution to the lookahead.
+  engine_->DeclareLinkLatency(net::MinOneWayLatency(wire_));
+}
+
+sim::Duration ShardedRpcNode::WireLatency(uint64_t bytes, const ShardedRpcNode& peer) const {
+  return net::OneWayLatencyModel(wire_, link_gbps_, peer.link_gbps_, bytes);
+}
+
+void ShardedRpcNode::CallAsync(ShardedRpcNode* peer, const RpcRequest& request,
+                               Completion done) {
+  counters_.Increment("rpc_async_calls");
+  BufferChain frame = SerializeRequestFrame(request);
+  const sim::SimTime now = engine_->shard(shard_).Now();
+  const sim::Duration latency = WireLatency(frame.size(), *peer);
+  engine_->Post(source_, peer->shard_, now + latency,
+                [peer, self = this, frame = std::move(frame), done = std::move(done)]() mutable {
+                  peer->ServeFrame(std::move(frame), self, std::move(done));
+                });
+}
+
+void ShardedRpcNode::ServeFrame(BufferChain frame, ShardedRpcNode* reply_to, Completion done) {
+  const sim::SimTime arrival = engine_->shard(shard_).Now();
+  RpcResponse response;
+  Result<RpcRequest> request = ParseRequestFrame(frame);
+  if (!request.ok()) {
+    response = RpcResponse::Fail(request.status());
+  } else if (server_ == nullptr) {
+    response = RpcResponse::Fail(InvalidArgument("node has no RPC server"));
+  } else {
+    // Single-pipeline FIFO service: the node clock is the pipeline's
+    // availability horizon. An arrival while the pipeline is busy queues
+    // behind the in-flight work; an arrival while idle starts immediately.
+    if (node_clock_->Now() < arrival) {
+      node_clock_->AdvanceTo(arrival);
+    } else {
+      counters_.Add("rpc_async_queued_ns", node_clock_->Now() - arrival);
+    }
+    response = server_->Dispatch(*request);
+  }
+  counters_.Increment("rpc_async_served");
+  const sim::SimTime finish =
+      std::max(node_clock_ != nullptr ? node_clock_->Now() : arrival, arrival);
+  BufferChain wire = SerializeResponseFrame(response);
+  const sim::Duration latency = WireLatency(wire.size(), *reply_to);
+  engine_->Post(source_, reply_to->shard_, finish + latency,
+                [wire = std::move(wire), done = std::move(done)]() mutable {
+                  done(ParseResponseFrame(wire));
+                });
+}
+
 }  // namespace hyperion::dpu

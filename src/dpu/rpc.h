@@ -21,6 +21,7 @@
 #include "src/common/result.h"
 #include "src/net/transport.h"
 #include "src/sim/fault.h"
+#include "src/sim/parallel.h"
 #include "src/sim/stats.h"
 #include "src/sim/time.h"
 
@@ -144,6 +145,68 @@ class RpcClient {
   RpcServer* peer_;
   RetryPolicy policy_;
   sim::FaultInjector* injector_ = nullptr;
+  sim::Counters counters_;
+};
+
+// -- Sharded asynchronous RPC (PR 3) -----------------------------------------
+//
+// In the sharded cluster simulation (sim/parallel.h) each simulated DPU
+// node is homed on a ParallelEngine shard, and an RPC between nodes ships
+// the *serialized frame* as a cross-shard message:
+//
+//   caller shard   SerializeRequestFrame -> Post at now + wire latency
+//   callee shard   ParseRequestFrame -> Dispatch, serialized FIFO on the
+//                  callee's private node clock (its cost engine) -> Post
+//                  the response frame at finish + wire latency
+//   caller shard   ParseResponseFrame -> completion callback
+//
+// The frame's payload crosses threads as shared Buffer slices (refcounts
+// are atomic; the epoch barrier provides the happens-before edge), so the
+// zero-copy datapath property of PR 2 survives sharding. Wire latency is
+// the pure fabric model (net::OneWayLatencyModel) of the frame's byte
+// count; its zero-byte floor is declared to the parallel engine as the
+// conservative lookahead. The async path models a hardware-offloaded
+// transport (RDMA-like): no retries, no software overhead, no loss.
+class ShardedRpcNode {
+ public:
+  using Completion = std::function<void(Result<RpcResponse>)>;
+
+  // Registers the node as a message source on `shard` (registration order
+  // is the deterministic cross-shard tie-break — construct nodes in node-id
+  // order). `server` may be null for client-only nodes. `node_clock` is the
+  // node's private cost engine — the one its DPU substrates advance inline;
+  // it must never hold scheduled events (it is a clock, not a queue).
+  ShardedRpcNode(sim::ParallelEngine* engine, uint32_t shard, RpcServer* server,
+                 sim::Engine* node_clock, const net::FabricParams& wire,
+                 double link_gbps);
+
+  uint32_t source() const { return source_; }
+  uint32_t shard() const { return shard_; }
+  sim::Engine* node_clock() { return node_clock_; }
+
+  // Asynchronous call: `done` runs on this node's shard engine when the
+  // response frame arrives. Must be called from this node's shard (an event
+  // on its engine, or setup code before ParallelEngine::Run()).
+  void CallAsync(ShardedRpcNode* peer, const RpcRequest& request, Completion done);
+
+  // One-way wire latency for `bytes` between this node and `peer`.
+  sim::Duration WireLatency(uint64_t bytes, const ShardedRpcNode& peer) const;
+
+  // rpc_async_calls / rpc_async_served / rpc_async_queued_ns (time requests
+  // spent queued behind the node's busy pipeline).
+  const sim::Counters& counters() const { return counters_; }
+
+ private:
+  // Runs on this node's shard at request-arrival time.
+  void ServeFrame(BufferChain frame, ShardedRpcNode* reply_to, Completion done);
+
+  sim::ParallelEngine* engine_;
+  uint32_t shard_;
+  uint32_t source_;
+  RpcServer* server_;
+  sim::Engine* node_clock_;
+  net::FabricParams wire_;
+  double link_gbps_;
   sim::Counters counters_;
 };
 

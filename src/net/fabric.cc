@@ -24,10 +24,7 @@ Result<sim::Duration> Fabric::OneWayLatency(HostId src, HostId dst, uint64_t byt
   if (src == dst) {
     return sim::Duration{0};  // loopback is free in the model
   }
-  const double gbps = std::min(hosts_[src].link_gbps, hosts_[dst].link_gbps);
-  const sim::Duration serialization = sim::TransferTime(bytes, gbps);
-  return 2 * params_.port_latency + params_.switch_latency + 2 * params_.propagation +
-         serialization;
+  return OneWayLatencyModel(params_, hosts_[src].link_gbps, hosts_[dst].link_gbps, bytes);
 }
 
 Result<sim::Duration> Fabric::Rtt(HostId a, HostId b) const {

@@ -36,6 +36,25 @@ struct FabricParams {
   double default_link_gbps = 100.0;
 };
 
+// One-way latency for `bytes` between two hosts attached by links of the
+// given speeds: pure arithmetic over the parameters, usable from any thread
+// and without a Fabric instance (the sharded cluster simulation computes
+// cross-shard message latencies with it). Fabric::OneWayLatency delegates
+// here, so both agree byte-for-byte.
+constexpr sim::Duration OneWayLatencyModel(const FabricParams& params, double src_gbps,
+                                           double dst_gbps, uint64_t bytes) {
+  const double gbps = src_gbps < dst_gbps ? src_gbps : dst_gbps;
+  return 2 * params.port_latency + params.switch_latency + 2 * params.propagation +
+         sim::TransferTime(bytes, gbps);
+}
+
+// Lower bound of any cross-host message's latency under `params`: the
+// zero-byte fixed path cost. This is the conservative lookahead the
+// parallel simulation layer uses for its epoch windows.
+constexpr sim::Duration MinOneWayLatency(const FabricParams& params) {
+  return 2 * params.port_latency + params.switch_latency + 2 * params.propagation;
+}
+
 class Fabric {
  public:
   explicit Fabric(sim::Engine* engine, FabricParams params = FabricParams())

@@ -183,6 +183,14 @@ class Engine {
   bool Empty() const { return event_count_ == 0; }
   size_t PendingEvents() const { return event_count_; }
 
+  // Earliest pending event time, or kNever when the queue is empty. Used by
+  // the parallel-simulation layer to compute the next global epoch; may
+  // migrate heap events into the wheel as a side effect (ordering-neutral).
+  SimTime PeekNextTime() { return PeekTime(); }
+
+  // Sentinel for "no pending event"/"no deadline" (max representable time).
+  static constexpr SimTime kNever = ~0ull;
+
   const EngineOptions& options() const { return options_; }
   const EngineStats& stats() const { return stats_; }
 
@@ -216,7 +224,6 @@ class Engine {
   // Earliest pending time (kNever when empty); used by AdvanceTo's guard.
   SimTime PeekTime();
 
-  static constexpr SimTime kNever = ~0ull;
   static constexpr size_t kSlabEvents = 256;
 
   EngineOptions options_;

@@ -1,0 +1,199 @@
+#include "src/sim/parallel.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace hyperion::sim {
+
+ParallelEngine::ParallelEngine(const ParallelEngineOptions& options)
+    : options_(options), lookahead_(options.lookahead_floor) {
+  CHECK_GT(options_.num_shards, 0u);
+  CHECK_GT(options_.lookahead_floor, 0u) << "a zero lookahead admits no safe window";
+  shards_.resize(options_.num_shards);
+  for (Shard& shard : shards_) {
+    shard.engine = std::make_unique<Engine>(options_.engine_options);
+  }
+  StartWorkers();
+}
+
+ParallelEngine::~ParallelEngine() {
+  if (!workers_.empty()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shutdown_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& worker : workers_) {
+      worker.join();
+    }
+  }
+}
+
+Engine& ParallelEngine::shard(uint32_t s) {
+  CHECK_LT(s, shards_.size());
+  return *shards_[s].engine;
+}
+
+uint32_t ParallelEngine::AddSource(uint32_t shard) {
+  CHECK_LT(shard, shards_.size());
+  sources_.push_back(Source{shard, 0});
+  return static_cast<uint32_t>(sources_.size() - 1);
+}
+
+uint32_t ParallelEngine::source_shard(uint32_t source) const {
+  CHECK_LT(source, sources_.size());
+  return sources_[source].shard;
+}
+
+void ParallelEngine::DeclareLinkLatency(Duration min_latency) {
+  CHECK_GE(min_latency, options_.lookahead_floor)
+      << "link latency below lookahead_floor: lower the floor";
+  lookahead_ = link_declared_ ? std::min(lookahead_, min_latency) : min_latency;
+  link_declared_ = true;
+}
+
+void ParallelEngine::Post(uint32_t source, uint32_t dst_shard, SimTime when, EventFn fn) {
+  CHECK_LT(source, sources_.size());
+  CHECK_LT(dst_shard, shards_.size());
+  Source& src = sources_[source];
+  // Conservative-safety invariant: nothing posted during the current window
+  // may take effect before the window's horizon.
+  CHECK_GE(when, shards_[src.shard].engine->Now() + lookahead_)
+      << "cross-shard message inside the lookahead window";
+  Message message;
+  message.when = when;
+  message.source = source;
+  message.seq = src.next_seq++;
+  message.dst_shard = dst_shard;
+  message.fn = std::move(fn);
+  shards_[src.shard].outbox.push_back(std::move(message));
+}
+
+void ParallelEngine::StartWorkers() {
+  if (!options_.use_threads || shards_.size() < 2) {
+    return;
+  }
+  workers_.reserve(shards_.size());
+  for (uint32_t s = 0; s < shards_.size(); ++s) {
+    workers_.emplace_back([this, s] { WorkerLoop(s); });
+  }
+}
+
+void ParallelEngine::WorkerLoop(uint32_t shard_index) {
+  Shard& shard = shards_[shard_index];
+  uint64_t seen_gen = 0;
+  for (;;) {
+    SimTime end;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return shutdown_ || epoch_gen_ != seen_gen; });
+      if (shutdown_) {
+        return;
+      }
+      seen_gen = epoch_gen_;
+      end = window_end_;
+    }
+    // Half-open window [previous horizon, end): integer times make this
+    // RunUntil(end - 1). Events at exactly `end` belong to the next window,
+    // after the barrier merges messages that may share their timestamp.
+    shard.executed += shard.engine->RunUntil(end - 1);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_workers_ == 0) {
+        done_cv_.notify_one();
+      }
+    }
+  }
+}
+
+void ParallelEngine::RunWindow(SimTime horizon) {
+  if (workers_.empty()) {
+    for (Shard& shard : shards_) {
+      shard.executed += shard.engine->RunUntil(horizon - 1);
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    window_end_ = horizon;
+    pending_workers_ = static_cast<uint32_t>(shards_.size());
+    ++epoch_gen_;
+  }
+  work_cv_.notify_all();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return pending_workers_ == 0; });
+  }
+}
+
+void ParallelEngine::DeliverOutboxes() {
+  staging_.clear();
+  for (Shard& shard : shards_) {
+    for (Message& message : shard.outbox) {
+      staging_.push_back(std::move(message));
+    }
+    shard.outbox.clear();
+  }
+  if (staging_.empty()) {
+    return;
+  }
+  // Deterministic merge: (delivery time, source, per-source seq) is a total
+  // order — (source, seq) pairs are unique — so the destination engines'
+  // insertion order (their tie-break) is independent of shard layout and
+  // thread interleaving.
+  std::sort(staging_.begin(), staging_.end(), [](const Message& a, const Message& b) {
+    if (a.when != b.when) {
+      return a.when < b.when;
+    }
+    if (a.source != b.source) {
+      return a.source < b.source;
+    }
+    return a.seq < b.seq;
+  });
+  stats_.messages += staging_.size();
+  stats_.max_outbox = std::max(stats_.max_outbox, static_cast<uint64_t>(staging_.size()));
+  for (Message& message : staging_) {
+    if (sources_[message.source].shard != message.dst_shard) {
+      ++stats_.cross_shard_messages;
+    }
+    shards_[message.dst_shard].engine->ScheduleAt(message.when, std::move(message.fn));
+  }
+  staging_.clear();
+}
+
+SimTime ParallelEngine::NextEventTime() {
+  SimTime next = Engine::kNever;
+  for (Shard& shard : shards_) {
+    next = std::min(next, shard.engine->PeekNextTime());
+  }
+  return next;
+}
+
+uint64_t ParallelEngine::Run() {
+  uint64_t executed_before = 0;
+  for (const Shard& shard : shards_) {
+    executed_before += shard.executed;
+  }
+  // Messages posted during setup (before any window ran) enter the engines
+  // first so they count toward the initial epoch computation.
+  DeliverOutboxes();
+  for (;;) {
+    const SimTime next = NextEventTime();
+    if (next == Engine::kNever) {
+      break;
+    }
+    CHECK_LT(next, Engine::kNever - lookahead_) << "virtual time overflow";
+    RunWindow(next + lookahead_);
+    ++stats_.epochs;
+    DeliverOutboxes();
+  }
+  uint64_t executed_after = 0;
+  for (const Shard& shard : shards_) {
+    executed_after += shard.executed;
+  }
+  stats_.events_run = executed_after;
+  return executed_after - executed_before;
+}
+
+}  // namespace hyperion::sim

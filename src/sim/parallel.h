@@ -1,0 +1,207 @@
+// Parallel discrete-event simulation across sharded engines (PR 3).
+//
+// The cluster experiments (multi-DPU KV, replicated logs, partitioned graph
+// analytics) used to serialize every simulated node through one sim::Engine
+// on one core. This layer shards the simulation: each shard owns a private
+// Engine and runs on its own worker thread, and shards interact only
+// through timestamped cross-shard messages.
+//
+// Synchronization is conservative epoch-barrier PDES ("null-message-free"
+// windowing): the minimum cross-shard link latency is a *lookahead* — a
+// message sent at local time t can never take effect before t + lookahead.
+// Each round the coordinator computes the global next event time E, all
+// shards run independently inside the window [E, E + lookahead), and at the
+// barrier the outboxes are exchanged. Every message produced inside the
+// window carries a delivery time >= E + lookahead, so no shard can ever
+// receive a message for its past — the classic conservative-safety
+// invariant, enforced with a CHECK at Post().
+//
+// Determinism: inbound messages are merged into the destination engine in
+// (delivery time, source id, per-source sequence) order before the next
+// window runs. Source ids are logical (registration order), not thread or
+// shard ids, and per-source sequences are assigned in the source's own
+// deterministic execution order — so the merged order, and therefore the
+// full event trace, is bit-identical whether the same logical sources are
+// spread over 1 shard or N, with threads or without. The PR-1 determinism
+// regression style applies unchanged; tests/cluster_test.cc pins it for
+// num_shards in {1, 2, 4}.
+//
+// Thread-safety contract: shard s's Engine (and everything scheduled on it)
+// is touched only by shard s's worker during a window, and only by the
+// coordinator at a barrier while all workers are quiescent; the barrier's
+// mutex provides the happens-before edges. Post(source, ...) must be called
+// from the source's shard (its worker thread during windows, or the
+// coordinator before Run()). Anything a message closure captures crosses
+// threads through the barrier, which synchronizes; payloads should still be
+// immutable or uniquely owned (Buffer slices qualify — see common/buffer.h).
+
+#ifndef HYPERION_SRC_SIM_PARALLEL_H_
+#define HYPERION_SRC_SIM_PARALLEL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/sim/engine.h"
+#include "src/sim/time.h"
+
+namespace hyperion::sim {
+
+struct ParallelEngineOptions {
+  uint32_t num_shards = 1;
+  // Lower bound asserted on every cross-shard message's latency, and the
+  // minimum epoch window width. Raising it widens windows (fewer barriers)
+  // but Post() CHECK-fails if any message is actually posted sooner — the
+  // knob can only claim lookahead the communication layer really has.
+  // DeclareLinkLatency() raises the effective lookahead above the floor
+  // when every link is slower.
+  Duration lookahead_floor = 100;  // ns
+  // Run shards on worker threads. With false (or num_shards == 1) windows
+  // execute round-robin on the caller's thread — bit-identical results,
+  // useful for debugging and for measuring barrier overhead alone.
+  bool use_threads = true;
+  // Per-shard engine knobs (timing wheel, event pool).
+  EngineOptions engine_options;
+};
+
+struct ParallelEngineStats {
+  uint64_t epochs = 0;            // barrier rounds executed
+  uint64_t events_run = 0;        // events executed across all shards
+  uint64_t messages = 0;          // channel messages delivered
+  uint64_t cross_shard_messages = 0;  // subset whose src/dst shards differ
+  uint64_t max_outbox = 0;        // largest per-barrier exchange
+};
+
+// Sharded conservative-lookahead event engine. See file comment.
+class ParallelEngine {
+ public:
+  explicit ParallelEngine(const ParallelEngineOptions& options);
+  ParallelEngine(const ParallelEngine&) = delete;
+  ParallelEngine& operator=(const ParallelEngine&) = delete;
+  ~ParallelEngine();
+
+  uint32_t num_shards() const { return static_cast<uint32_t>(shards_.size()); }
+  Engine& shard(uint32_t s);
+  const ParallelEngineOptions& options() const { return options_; }
+
+  // Registers a logical message source homed on `shard` and returns its id.
+  // Registration order is the deterministic tie-break between sources, so
+  // register in a layout-independent order (e.g. node id order).
+  uint32_t AddSource(uint32_t shard);
+  uint32_t source_shard(uint32_t source) const;
+
+  // Declares that some channel can deliver a message `min_latency` after it
+  // is sent; the effective lookahead becomes the minimum declared latency
+  // (never below lookahead_floor — CHECK). Call before Run().
+  void DeclareLinkLatency(Duration min_latency);
+  Duration lookahead() const { return lookahead_; }
+
+  // Posts a message from `source`: `fn` runs on the destination shard's
+  // engine at virtual time `when`. Must be called from the source's shard
+  // (see thread-safety contract above); CHECKs the lookahead invariant
+  // `when >= source-shard Now() + lookahead()`.
+  void Post(uint32_t source, uint32_t dst_shard, SimTime when, EventFn fn);
+
+  // Runs epochs until global quiescence (no pending events, no undelivered
+  // messages). Returns the total number of events executed.
+  uint64_t Run();
+
+  const ParallelEngineStats& stats() const { return stats_; }
+
+ private:
+  struct Message {
+    SimTime when = 0;
+    uint32_t source = 0;
+    uint64_t seq = 0;
+    uint32_t dst_shard = 0;
+    EventFn fn;
+  };
+
+  // One shard: a private engine plus the outbox its worker fills during a
+  // window. Padded so neighbouring shards' hot state never shares a line.
+  struct alignas(64) Shard {
+    std::unique_ptr<Engine> engine;
+    std::vector<Message> outbox;
+    uint64_t executed = 0;
+  };
+
+  struct Source {
+    uint32_t shard = 0;
+    uint64_t next_seq = 0;
+  };
+
+  void StartWorkers();
+  void WorkerLoop(uint32_t shard_index);
+  // Runs every shard over [previous horizon, `horizon`) — on workers or
+  // inline — then returns with all workers quiescent.
+  void RunWindow(SimTime horizon);
+  // Coordinator, workers quiescent: routes every outbox message into its
+  // destination engine in (when, source, seq) order.
+  void DeliverOutboxes();
+  // Global earliest pending event time across shards (kNever if none).
+  SimTime NextEventTime();
+
+  ParallelEngineOptions options_;
+  Duration lookahead_;
+  bool link_declared_ = false;
+  std::vector<Shard> shards_;
+  std::vector<Source> sources_;
+  ParallelEngineStats stats_;
+
+  // Barrier state (guarded by mu_). Workers wait for epoch_gen_ to advance,
+  // run their window to window_end_, then report via pending_workers_.
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  uint64_t epoch_gen_ = 0;
+  uint32_t pending_workers_ = 0;
+  SimTime window_end_ = 0;
+  bool shutdown_ = false;
+
+  // Scratch for DeliverOutboxes (coordinator-only).
+  std::vector<Message> staging_;
+};
+
+// Typed cross-shard channel: a fixed (source, destination shard) edge that
+// delivers `T` values to a receiver callback on the destination shard. The
+// channel (and its receiver) must outlive every in-flight message.
+template <typename T>
+class Channel {
+ public:
+  // Receiver runs on the destination shard's engine at delivery time.
+  using Receiver = std::function<void(T, SimTime when)>;
+
+  Channel(ParallelEngine* engine, uint32_t source, uint32_t dst_shard, Receiver receiver)
+      : engine_(engine),
+        source_(source),
+        dst_shard_(dst_shard),
+        receiver_(std::make_unique<Receiver>(std::move(receiver))) {}
+
+  uint32_t source() const { return source_; }
+  uint32_t dst_shard() const { return dst_shard_; }
+
+  // Posts `value` for delivery at `when` (subject to the lookahead CHECK).
+  void Send(SimTime when, T value) {
+    Receiver* receiver = receiver_.get();
+    engine_->Post(source_, dst_shard_, when,
+                  [receiver, when, v = std::move(value)]() mutable {
+                    (*receiver)(std::move(v), when);
+                  });
+  }
+
+ private:
+  ParallelEngine* engine_;
+  uint32_t source_;
+  uint32_t dst_shard_;
+  std::unique_ptr<Receiver> receiver_;  // stable address for in-flight sends
+};
+
+}  // namespace hyperion::sim
+
+#endif  // HYPERION_SRC_SIM_PARALLEL_H_

@@ -4,7 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
 #include <utility>
+#include <vector>
 
 #include "src/common/buffer.h"
 #include "src/common/bytes.h"
@@ -208,6 +210,56 @@ TEST(ChainReaderTest, StraddlingReadUsesScratchAndAccounts) {
   ASSERT_TRUE(reader.ok());
   EXPECT_EQ(rest[0], 24);
   EXPECT_EQ(reader.remaining(), 0u);
+}
+
+// -- Thread-safety (sharded simulation contract, see buffer.h) ----------
+
+TEST(BufferThreadTest, CopyCountersAreExactUnderConcurrency) {
+  // The copy tallies are relaxed atomics: concurrent CopyOf calls from
+  // shard workers must lose no increments.
+  constexpr int kThreads = 4;
+  constexpr int kCopies = 2000;
+  constexpr size_t kBytes = 64;
+  const Bytes payload = MakeBytes(kBytes, 0);
+  const uint64_t bytes_before = BufferCopiedBytes();
+  const uint64_t ops_before = BufferCopyOps();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&payload] {
+      for (int i = 0; i < kCopies; ++i) {
+        Buffer copy = Buffer::CopyOf(ByteSpan(payload.data(), payload.size()));
+        ASSERT_EQ(copy.size(), size_t{kBytes});
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(BufferCopiedBytes() - bytes_before, uint64_t{kThreads} * kCopies * kBytes);
+  EXPECT_EQ(BufferCopyOps() - ops_before, uint64_t{kThreads} * kCopies);
+}
+
+TEST(BufferThreadTest, SlicesOfSharedBlockCrossThreadsSafely) {
+  // Distinct Buffer objects over one control block may live on different
+  // shards: the shared_ptr refcount keeps the block alive until the last
+  // slice (on any thread) drops. TSan-checked in CI.
+  Buffer base(MakeBytes(256, 0));
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    Buffer slice = base.Slice(static_cast<size_t>(t) * 64, 64);
+    threads.emplace_back([slice = std::move(slice), t] {
+      for (int i = 0; i < 1000; ++i) {
+        Buffer inner = slice.Slice(8, 16);
+        ASSERT_EQ(inner[0], static_cast<uint8_t>(t * 64 + 8));
+      }
+    });
+  }
+  Buffer main_slice = base.Slice(0, 1);
+  base = Buffer();  // drop the original owner while slices are live
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(main_slice[0], 0u);
 }
 
 TEST(ChainReaderTest, OverrunClearsOk) {

@@ -127,6 +127,77 @@ TEST(HistogramTest, MergeCombinesCounts) {
   EXPECT_EQ(a.max(), 1000u);
 }
 
+// Merge is the per-shard -> cluster aggregation path of the sharded
+// simulation: recording a stream into one histogram and recording its
+// partitions into K histograms then merging must be indistinguishable —
+// counts, extremes, mean, and every percentile.
+TEST(HistogramTest, MergeOfShardsEqualsGroundTruth) {
+  // Deterministic skewed stream (xorshift), spanning several buckets.
+  uint64_t x = 0x2545F4914F6CDD1Dull;
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 20000; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    values.push_back(1 + x % (1ull << (8 + i % 16)));
+  }
+  Histogram ground_truth;
+  Histogram shards[4];
+  for (size_t i = 0; i < values.size(); ++i) {
+    ground_truth.Record(values[i]);
+    shards[i % 4].Record(values[i]);
+  }
+  Histogram merged;
+  for (const Histogram& shard : shards) {
+    merged.Merge(shard);
+  }
+  EXPECT_EQ(merged.count(), ground_truth.count());
+  EXPECT_EQ(merged.min(), ground_truth.min());
+  EXPECT_EQ(merged.max(), ground_truth.max());
+  EXPECT_DOUBLE_EQ(merged.Mean(), ground_truth.Mean());
+  for (double q = 0.0; q <= 1.0; q += 0.001) {
+    ASSERT_EQ(merged.Percentile(q), ground_truth.Percentile(q)) << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, MergeOrderAndPartitioningDoNotMatter) {
+  Histogram even_odd[2];
+  Histogram halves[2];
+  for (uint64_t v = 1; v <= 1000; ++v) {
+    even_odd[v % 2].Record(v * 17);
+    halves[v > 500].Record(v * 17);
+  }
+  Histogram a;
+  a.Merge(even_odd[0]);
+  a.Merge(even_odd[1]);
+  Histogram b;
+  b.Merge(halves[1]);  // reversed order on a different partitioning
+  b.Merge(halves[0]);
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.min(), b.min());
+  EXPECT_EQ(a.max(), b.max());
+  for (double q : {0.1, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    EXPECT_EQ(a.Percentile(q), b.Percentile(q)) << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, MergeWithEmptyIsIdentity) {
+  Histogram h;
+  h.Record(42);
+  h.Record(4242);
+  Histogram empty;
+  h.Merge(empty);  // no-op
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.min(), 42u);
+  EXPECT_EQ(h.max(), 4242u);
+  Histogram fresh;
+  fresh.Merge(h);  // merge into empty == copy
+  EXPECT_EQ(fresh.count(), 2u);
+  EXPECT_EQ(fresh.min(), 42u);
+  EXPECT_EQ(fresh.max(), 4242u);
+  EXPECT_EQ(fresh.P50(), h.P50());
+}
+
 TEST(HistogramTest, ResetClears) {
   Histogram h;
   h.Record(5);
