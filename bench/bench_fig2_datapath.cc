@@ -9,11 +9,21 @@
 // Expected shape: RDMA < Homa < UDP < TCP for small requests (software and
 // protocol overhead ordering); serialization dominates and the transports
 // converge as values grow.
+//
+// E12 (PR 4) rides on the same datapath with tracing enabled: the traced
+// variant attributes each request's latency to net / rpc / nvme / pcie via
+// the critical-path report and dumps a Chrome trace_event JSON
+// (fig2_trace.json, loadable in chrome://tracing or Perfetto) plus the
+// layer-breakdown table (fig2_critical_path.txt).
 
 #include <benchmark/benchmark.h>
 
+#include <fstream>
+
 #include "src/dpu/hyperion.h"
 #include "src/dpu/services.h"
+#include "src/obs/export.h"
+#include "src/obs/trace.h"
 
 namespace {
 
@@ -151,6 +161,86 @@ void BM_Fig2Block(benchmark::State& state) {
   state.SetLabel(std::string(net::TransportKindName(kind)) + "/nvmeof_block");
 }
 
+// E12 — traced Fig. 2 datapath. Runs the KV put/get loop with the tracer
+// wired through every layer, then answers "where did each request's
+// nanoseconds go?" via the critical-path report and dumps the full span
+// tree as Chrome trace_event JSON. Counters report per-layer self time
+// averaged over requests; artifacts land in the working directory.
+void BM_Fig2CriticalPath(benchmark::State& state) {
+  const net::TransportKind kind = kKinds[state.range(0)];
+  const uint64_t value_bytes = static_cast<uint64_t>(state.range(1));
+  Setup setup(kind);
+
+  obs::Tracer tracer(/*origin=*/0);
+  setup.dpu.InstallTracer(&tracer);
+  setup.transport->SetTracer(&tracer);
+  setup.rpc->SetTracer(&tracer);
+
+  Bytes value(value_bytes, 0x5a);
+  uint64_t key = 0;
+  sim::Duration total = 0;
+  uint64_t ops = 0;
+  for (auto _ : state) {
+    Bytes put;
+    PutU64(put, key);
+    PutU32(put, static_cast<uint32_t>(value.size()));
+    PutBytes(put, ByteSpan(value.data(), value.size()));
+    const sim::SimTime t0 = setup.engine.Now();
+    auto put_resp = setup.rpc->Call({dpu::ServiceId::kKv, dpu::KvOp::kPut, std::move(put)});
+    Bytes get;
+    PutU64(get, key);
+    auto get_resp = setup.rpc->Call({dpu::ServiceId::kKv, dpu::KvOp::kGet, std::move(get)});
+    const sim::SimTime t1 = setup.engine.Now();
+    if (!put_resp.ok() || !put_resp->status.ok() || !get_resp.ok() ||
+        !get_resp->status.ok()) {
+      state.SkipWithError("request failed");
+      return;
+    }
+    total += t1 - t0;
+    ops += 2;
+    key = (key + 1) % 64;
+  }
+
+  const std::vector<obs::SpanRecord> spans = obs::Tracer::Merged({&tracer});
+  const obs::CriticalPathReport report = obs::BuildCriticalPathReport(spans);
+  // Per-request layer breakdown: self time attributed to each subsystem on
+  // the critical path, averaged over the requests the report covers.
+  sim::Duration by_subsystem[obs::kSubsystemCount] = {};
+  uint64_t requests = 0;
+  for (const obs::CriticalPathRow& row : report.rows) {
+    for (size_t s = 0; s < obs::kSubsystemCount; ++s) {
+      by_subsystem[s] += row.by_subsystem[s];
+    }
+    ++requests;
+  }
+  if (requests > 0) {
+    for (size_t s = 0; s < obs::kSubsystemCount; ++s) {
+      if (by_subsystem[s] == 0) {
+        continue;
+      }
+      state.counters[std::string("path_") +
+                     std::string(obs::SubsystemName(static_cast<obs::Subsystem>(s))) +
+                     "_us"] =
+          sim::ToMicros(by_subsystem[s]) / static_cast<double>(requests);
+    }
+  }
+  state.counters["sim_rt_us"] = sim::ToMicros(total) / static_cast<double>(ops / 2);
+  state.counters["spans_per_req"] =
+      static_cast<double>(spans.size()) / static_cast<double>(ops);
+
+  // Artifacts: the Chrome trace (chrome://tracing, Perfetto) and the
+  // human-readable breakdown. Written once, from the last run config.
+  {
+    std::ofstream trace_out("fig2_trace.json", std::ios::trunc);
+    trace_out << obs::ToChromeTraceJson(spans);
+  }
+  {
+    std::ofstream path_out("fig2_critical_path.txt", std::ios::trunc);
+    path_out << report.Summary();
+  }
+  state.SetLabel(std::string(net::TransportKindName(kind)) + "/traced");
+}
+
 void RegisterAll() {
   for (int k = 0; k < 4; ++k) {
     for (int64_t bytes : {64, 4096, 65536}) {
@@ -169,6 +259,16 @@ void RegisterAll() {
           ->Args({k, bytes})
           ->Iterations(50);
     }
+  }
+  // E12: one traced config per transport, mid-size value. Tracing is on for
+  // these only — E2 numbers above stay untraced.
+  for (int k = 0; k < 4; ++k) {
+    benchmark::RegisterBenchmark((std::string("E12/Fig2CriticalPath/kv/") +
+                                     std::string(net::TransportKindName(kKinds[k])) +
+                                     "/value:4096").c_str(),
+                                 BM_Fig2CriticalPath)
+        ->Args({k, 4096})
+        ->Iterations(50);
   }
 }
 

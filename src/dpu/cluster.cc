@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/check.h"
+#include "src/obs/export.h"
 
 namespace hyperion::dpu {
 
@@ -36,6 +37,12 @@ KvCluster::Node::Node(KvCluster* cluster, uint32_t id, uint32_t shard)
   endpoint = std::make_unique<ShardedRpcNode>(&cluster->engine(), shard, &dpu.rpc(), &clock,
                                               cluster->options_.fabric,
                                               cluster->options_.fabric.default_link_gbps);
+  if (cluster->options_.trace) {
+    // Origin = node id: logical identity, stable across shard layouts.
+    tracer = std::make_unique<obs::Tracer>(id);
+    dpu.InstallTracer(tracer.get());
+    endpoint->SetTracer(tracer.get());
+  }
   clients.resize(cluster->options_.workload.clients_per_node,
                  Client{cluster->options_.workload.ops_per_client});
 }
@@ -176,6 +183,26 @@ ClusterResult KvCluster::Run() {
   result.latency_p99_ns = merged_latency_.P99();
   result.latency_max_ns = merged_latency_.max();
   return result;
+}
+
+std::vector<obs::SpanRecord> KvCluster::MergedTrace() const {
+  std::vector<const obs::Tracer*> tracers;
+  tracers.reserve(nodes_.size());
+  for (const auto& node : nodes_) {
+    if (node->tracer != nullptr) {
+      tracers.push_back(node->tracer.get());
+    }
+  }
+  return obs::Tracer::Merged(tracers);
+}
+
+void KvCluster::SnapshotMetrics(obs::MetricsRegistry* registry) const {
+  for (const auto& node : nodes_) {
+    registry->ImportCounters(obs::Subsystem::kRpc, node->endpoint->counters());
+    registry->ImportCounters(obs::Subsystem::kRpc, node->dpu.rpc().counters());
+    registry->ImportCounters(obs::Subsystem::kNvme, node->dpu.nvme().counters());
+  }
+  obs::ImportParallelStats(registry, engine_->stats());
 }
 
 }  // namespace hyperion::dpu

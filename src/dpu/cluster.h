@@ -30,6 +30,8 @@
 #include "src/dpu/distributed.h"
 #include "src/dpu/hyperion.h"
 #include "src/dpu/services.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/sim/parallel.h"
 #include "src/sim/stats.h"
 
@@ -55,6 +57,13 @@ struct ClusterOptions {
   storage::KvBackend backend = storage::KvBackend::kBTree;
   net::FabricParams fabric;  // wire model for cross-node frames
   ClusterWorkload workload;
+  // Distributed tracing: every node gets an obs::Tracer whose origin is the
+  // node id (a logical identity — never the shard index), wired into the
+  // node's DPU substrates and its shard endpoint. MergedTrace() after Run()
+  // is bit-identical across shard layouts and threading modes; virtual time
+  // is unaffected either way (trace context rides frames as unmodelled
+  // metadata).
+  bool trace = false;
   // Trimmed per-node DPU: the cluster experiments care about communication
   // structure, not per-node capacity, and eight full-size nodes would pay
   // construction time for memory the workload never touches.
@@ -116,6 +125,15 @@ class KvCluster {
   // Merged client-observed latency across nodes (valid after Run()).
   const sim::Histogram& merged_latency() const { return merged_latency_; }
 
+  // Per-node tracer (null unless options.trace) and the deterministic
+  // cross-node merge — (begin, origin, id) order, the golden-trace oracle.
+  const obs::Tracer* tracer(uint32_t node) const { return nodes_[node]->tracer.get(); }
+  std::vector<obs::SpanRecord> MergedTrace() const;
+
+  // Cluster-wide metrics: per-node RPC/endpoint counters and the parallel
+  // engine's tallies imported into `registry` under stable names.
+  void SnapshotMetrics(obs::MetricsRegistry* registry) const;
+
  private:
   struct Client {
     uint32_t remaining = 0;
@@ -133,6 +151,7 @@ class KvCluster {
     sim::Engine clock;  // private cost engine (never holds events)
     net::Fabric fabric;
     Hyperion dpu;
+    std::unique_ptr<obs::Tracer> tracer;  // origin = node id; null untraced
     std::unique_ptr<HyperionServices> services;
     std::unique_ptr<ShardedRpcNode> endpoint;
     std::unique_ptr<ShardedKvClient> kv;

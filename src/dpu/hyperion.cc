@@ -207,4 +207,12 @@ void Hyperion::InstallFaultInjector(sim::FaultInjector* injector) {
   fabric_->SetFaultInjector(injector);
 }
 
+void Hyperion::InstallTracer(obs::Tracer* tracer) {
+  nvme_->SetTracer(tracer);
+  dma_->SetTracer(tracer);
+  fabric_->SetTracer(tracer);
+  scheduler_->SetTracer(tracer);
+  rpc_.SetTracer(tracer, engine_);
+}
+
 }  // namespace hyperion::dpu

@@ -121,6 +121,11 @@ class Hyperion {
   // detach. The injector must outlive its use by the DPU.
   void InstallFaultInjector(sim::FaultInjector* injector);
 
+  // Wires `tracer` into every instrumented substrate (NVMe controller,
+  // PCIe DMA, FPGA fabric + slot scheduler, RPC server on this engine).
+  // Pass nullptr to detach. The tracer must outlive its use by the DPU.
+  void InstallTracer(obs::Tracer* tracer);
+
  private:
   struct Accelerator {
     ebpf::Program program;

@@ -98,6 +98,48 @@ BufferChain SerializeResponseFrame(const RpcResponse& response) {
   return frame;
 }
 
+namespace {
+// "TRC1", little-endian, leading a 20-byte trailer appended past the
+// request frame's header+payload. Parsers never read that far, so the
+// trailer is invisible to untraced peers.
+constexpr uint32_t kTraceTrailerMagic = 0x31435254;
+constexpr size_t kTraceTrailerBytes = 20;
+}  // namespace
+
+void AppendTraceTrailer(BufferChain& frame, obs::TraceContext context) {
+  ByteWriter trailer(kTraceTrailerBytes);
+  trailer.PutU32(kTraceTrailerMagic);
+  trailer.PutU64(context.trace_id);
+  trailer.PutU64(context.parent_span);
+  frame.Append(Buffer(trailer.Take()));
+}
+
+obs::TraceContext ExtractRequestTraceContext(const BufferChain& frame) {
+  if (frame.segment_count() == 0) {
+    return {};
+  }
+  ByteReader header(frame.segment(0));
+  header.ReadU16();  // service
+  header.ReadU16();  // opcode
+  const uint32_t len = header.ReadU32();
+  if (!header.Ok()) {
+    return {};
+  }
+  const size_t end = header.offset() + len;
+  if (frame.size() != end + kTraceTrailerBytes) {
+    return {};
+  }
+  const Buffer trailer = frame.SubChain(end, kTraceTrailerBytes).Gather();
+  ByteReader reader{trailer.span()};
+  if (reader.ReadU32() != kTraceTrailerMagic) {
+    return {};
+  }
+  obs::TraceContext context;
+  context.trace_id = reader.ReadU64();
+  context.parent_span = reader.ReadU64();
+  return reader.Ok() ? context : obs::TraceContext{};
+}
+
 Result<RpcResponse> ParseResponseFrame(const BufferChain& frame) {
   if (frame.segment_count() == 0) {
     return DataLoss("truncated RPC response");
@@ -122,13 +164,16 @@ void RpcServer::RegisterService(ServiceId service, Handler handler) {
   handlers_[service] = std::move(handler);
 }
 
-RpcResponse RpcServer::Dispatch(const RpcRequest& request) {
+RpcResponse RpcServer::Dispatch(const RpcRequest& request, obs::TraceContext context) {
   counters_.Increment("rpcs");
   auto it = handlers_.find(request.service);
   if (it == handlers_.end()) {
     counters_.Increment("rpc_unknown_service");
     return RpcResponse::Fail(NotFound("no such service"));
   }
+  // Stack-scoped: substrate spans the handler opens (nvme.*, pcie.*, ...)
+  // nest under the dispatch span on the same per-node tracer.
+  obs::ScopedSpan dispatch(tracer_, clock_, obs::Subsystem::kRpc, "rpc.dispatch", context);
   return it->second(request.opcode, request.payload);
 }
 
@@ -143,11 +188,12 @@ bool Retryable(const Status& status) {
 
 Result<RpcResponse> RpcClient::Attempt(const RpcRequest& request) {
   const uint64_t copies_before = BufferCopiedBytes();
+  obs::ScopedSpan attempt(tracer_, transport_->engine(), obs::Subsystem::kRpc, "rpc.attempt");
   // Request flight: the frame shares the payload's backing bytes.
   const BufferChain wire_request = SerializeRequestFrame(request);
   RETURN_IF_ERROR(transport_->SendFrame(self_, server_, wire_request).status());
   // Execution at the DPU (advances the shared clock).
-  RpcResponse response = peer_->Dispatch(request);
+  RpcResponse response = peer_->Dispatch(request, attempt.context());
   // Response flight.
   const BufferChain wire_response = SerializeResponseFrame(response);
   if (injector_ != nullptr && injector_->ShouldInject(sim::FaultSite::kRpcResponseDrop)) {
@@ -169,6 +215,11 @@ Result<RpcResponse> RpcClient::Call(const RpcRequest& request) {
 
 Result<RpcResponse> RpcClient::CallWithDeadline(const RpcRequest& request,
                                                 sim::SimTime deadline) {
+  obs::ScopedSpan call(tracer_, transport_->engine(), obs::Subsystem::kRpc, "rpc.call");
+  return CallLoop(request, deadline);
+}
+
+Result<RpcResponse> RpcClient::CallLoop(const RpcRequest& request, sim::SimTime deadline) {
   sim::Engine* engine = transport_->engine();
   const uint32_t max_attempts = std::max<uint32_t>(1, policy_.max_attempts);
   sim::Duration backoff = policy_.initial_backoff;
@@ -199,7 +250,10 @@ Result<RpcResponse> RpcClient::CallWithDeadline(const RpcRequest& request,
     if (deadline != kNoDeadline && engine->Now() < deadline) {
       sleep = std::min<sim::Duration>(sleep, deadline - engine->Now());
     }
-    engine->Advance(sleep);
+    {
+      obs::ScopedSpan backoff_span(tracer_, engine, obs::Subsystem::kRpc, "rpc.backoff");
+      engine->Advance(sleep);
+    }
     counters_.Increment("rpc_retries");
     counters_.Add("rpc_backoff_ns", sleep);
     backoff = std::min<sim::Duration>(
@@ -234,7 +288,17 @@ void ShardedRpcNode::CallAsync(ShardedRpcNode* peer, const RpcRequest& request,
   counters_.Increment("rpc_async_calls");
   BufferChain frame = SerializeRequestFrame(request);
   const sim::SimTime now = engine_->shard(shard_).Now();
+  // Latency from the pre-trailer size: the trace trailer is metadata, not
+  // modelled wire bytes, so traced and untraced runs are time-identical.
   const sim::Duration latency = WireLatency(frame.size(), *peer);
+  if (obs::kCompiledIn && tracer_ != nullptr && tracer_->enabled()) {
+    const obs::SpanId call = tracer_->BeginAsync(obs::Subsystem::kRpc, "rpc.call", now);
+    AppendTraceTrailer(frame, tracer_->ContextOf(call));
+    done = [this, call, inner = std::move(done)](Result<RpcResponse> result) {
+      tracer_->End(call, engine_->shard(shard_).Now());
+      inner(std::move(result));
+    };
+  }
   engine_->Post(source_, peer->shard_, now + latency,
                 [peer, self = this, frame = std::move(frame), done = std::move(done)]() mutable {
                   peer->ServeFrame(std::move(frame), self, std::move(done));
@@ -243,6 +307,13 @@ void ShardedRpcNode::CallAsync(ShardedRpcNode* peer, const RpcRequest& request,
 
 void ShardedRpcNode::ServeFrame(BufferChain frame, ShardedRpcNode* reply_to, Completion done) {
   const sim::SimTime arrival = engine_->shard(shard_).Now();
+  obs::SpanId serve = 0;
+  if (obs::kCompiledIn && tracer_ != nullptr && tracer_->enabled()) {
+    // Stitch under the caller's span carried in the frame trailer (empty
+    // context — a fresh root — when the caller was untraced).
+    serve = tracer_->BeginAsync(obs::Subsystem::kRpc, "rpc.serve", arrival,
+                                ExtractRequestTraceContext(frame));
+  }
   RpcResponse response;
   Result<RpcRequest> request = ParseRequestFrame(frame);
   if (!request.ok()) {
@@ -258,11 +329,15 @@ void ShardedRpcNode::ServeFrame(BufferChain frame, ShardedRpcNode* reply_to, Com
     } else {
       counters_.Add("rpc_async_queued_ns", node_clock_->Now() - arrival);
     }
-    response = server_->Dispatch(*request);
+    response = server_->Dispatch(*request, tracer_ != nullptr ? tracer_->ContextOf(serve)
+                                                              : obs::TraceContext{});
   }
   counters_.Increment("rpc_async_served");
   const sim::SimTime finish =
       std::max(node_clock_ != nullptr ? node_clock_->Now() : arrival, arrival);
+  if (tracer_ != nullptr) {
+    tracer_->End(serve, finish);
+  }
   BufferChain wire = SerializeResponseFrame(response);
   const sim::Duration latency = WireLatency(wire.size(), *reply_to);
   engine_->Post(source_, reply_to->shard_, finish + latency,

@@ -20,6 +20,7 @@
 #include "src/common/bytes.h"
 #include "src/common/result.h"
 #include "src/net/transport.h"
+#include "src/obs/trace.h"
 #include "src/sim/fault.h"
 #include "src/sim/parallel.h"
 #include "src/sim/stats.h"
@@ -72,6 +73,16 @@ Result<RpcRequest> ParseRequestFrame(const BufferChain& frame);
 BufferChain SerializeResponseFrame(const RpcResponse& response);
 Result<RpcResponse> ParseResponseFrame(const BufferChain& frame);
 
+// Trace-context trailer (PR 4): [magic u32][trace_id u64][parent_span u64]
+// appended *after* the request frame's header+payload. Every frame parser
+// reads exactly header + payload-length bytes and ignores anything beyond,
+// so a trailered frame stays wire-compatible with untraced peers; senders
+// compute the modelled wire latency from the pre-trailer size, so tracing
+// never perturbs virtual time. Extract returns an empty context when no
+// well-formed trailer is present.
+void AppendTraceTrailer(BufferChain& frame, obs::TraceContext context);
+obs::TraceContext ExtractRequestTraceContext(const BufferChain& frame);
+
 // Server-side dispatch table. Handlers run on the DPU and advance the
 // shared virtual clock by whatever work they do.
 class RpcServer {
@@ -79,13 +90,27 @@ class RpcServer {
   using Handler = std::function<RpcResponse(uint16_t opcode, const Buffer& payload)>;
 
   void RegisterService(ServiceId service, Handler handler);
-  RpcResponse Dispatch(const RpcRequest& request);
+  RpcResponse Dispatch(const RpcRequest& request) { return Dispatch(request, {}); }
+
+  // Traced dispatch: wraps the handler in an "rpc.dispatch" span parented
+  // at `context` (the caller's attempt or serve span), read off `clock` —
+  // the engine the handlers advance. Untraced without SetTracer.
+  RpcResponse Dispatch(const RpcRequest& request, obs::TraceContext context);
+
+  // Attaches the per-node tracer (null detaches). `clock` is the virtual
+  // clock dispatched work advances.
+  void SetTracer(obs::Tracer* tracer, sim::Engine* clock) {
+    tracer_ = tracer;
+    clock_ = clock;
+  }
 
   const sim::Counters& counters() const { return counters_; }
 
  private:
   std::map<ServiceId, Handler> handlers_;
   sim::Counters counters_;
+  obs::Tracer* tracer_ = nullptr;
+  sim::Engine* clock_ = nullptr;
 };
 
 // Retry policy for client calls: transient failures (lost or corrupted
@@ -121,6 +146,11 @@ class RpcClient {
   // hazard every retry layer must tolerate.
   void SetFaultInjector(sim::FaultInjector* injector) { injector_ = injector; }
 
+  // Attaches a tracer (null detaches): calls emit rpc.call/rpc.attempt/
+  // rpc.backoff spans on the transport's clock, and the attempt context
+  // propagates into the server's rpc.dispatch span.
+  void SetTracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
   // Calls under the configured retry policy with no deadline.
   Result<RpcResponse> Call(const RpcRequest& request);
 
@@ -138,6 +168,8 @@ class RpcClient {
  private:
   // One wire exchange, no retry.
   Result<RpcResponse> Attempt(const RpcRequest& request);
+  // The retry loop, running inside CallWithDeadline's rpc.call span.
+  Result<RpcResponse> CallLoop(const RpcRequest& request, sim::SimTime deadline);
 
   net::Transport* transport_;
   net::HostId self_;
@@ -145,6 +177,7 @@ class RpcClient {
   RpcServer* peer_;
   RetryPolicy policy_;
   sim::FaultInjector* injector_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
   sim::Counters counters_;
 };
 
@@ -192,6 +225,14 @@ class ShardedRpcNode {
   // One-way wire latency for `bytes` between this node and `peer`.
   sim::Duration WireLatency(uint64_t bytes, const ShardedRpcNode& peer) const;
 
+  // Attaches the node's tracer (null detaches). Calls open an async
+  // "rpc.call" span closed at response arrival; the context rides the
+  // request frame as a trailer (excluded from the modelled latency), and
+  // the serving node stitches its "rpc.serve" span under it even when the
+  // two nodes live on different shards.
+  void SetTracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  obs::Tracer* tracer() { return tracer_; }
+
   // rpc_async_calls / rpc_async_served / rpc_async_queued_ns (time requests
   // spent queued behind the node's busy pipeline).
   const sim::Counters& counters() const { return counters_; }
@@ -207,6 +248,7 @@ class ShardedRpcNode {
   sim::Engine* node_clock_;
   net::FabricParams wire_;
   double link_gbps_;
+  obs::Tracer* tracer_ = nullptr;
   sim::Counters counters_;
 };
 

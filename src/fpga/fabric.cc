@@ -29,6 +29,7 @@ Result<sim::Duration> Fabric::Reconfigure(RegionId region, Bitstream bitstream) 
     return Unavailable("region marked failed; repair it first");
   }
   const sim::Duration latency = ReconfigLatency(bitstream.size_bytes);
+  obs::ScopedSpan span(tracer_, engine_, obs::Subsystem::kFpga, "fpga.reconfig");
   if (injector_ != nullptr && injector_->ShouldInject(sim::FaultSite::kFpgaReconfigFail)) {
     // The ICAP stream aborts partway: some frames of the previous design
     // are already overwritten, so the slot holds neither design and must be

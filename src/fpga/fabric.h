@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/common/result.h"
+#include "src/obs/trace.h"
 #include "src/sim/engine.h"
 #include "src/sim/fault.h"
 #include "src/sim/stats.h"
@@ -78,6 +79,10 @@ class Fabric {
   // failed (unusable) until Repair() — the scheduler migrates around it.
   void SetFaultInjector(sim::FaultInjector* injector) { injector_ = injector; }
 
+  // Attaches a tracer (null detaches): Reconfigure emits an fpga.reconfig
+  // span (also covering the half-paid latency of an aborted load).
+  void SetTracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
   // True when the region took a reconfiguration fault and was not repaired.
   bool IsFailed(RegionId region) const;
 
@@ -93,6 +98,7 @@ class Fabric {
   std::vector<std::optional<Bitstream>> regions_;
   std::vector<uint8_t> failed_;
   sim::FaultInjector* injector_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
   sim::Histogram reconfig_hist_;
   sim::Counters counters_;
 };

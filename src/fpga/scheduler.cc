@@ -8,6 +8,7 @@ SlotScheduler::SlotScheduler(sim::Engine* engine, Fabric* fabric)
     : engine_(engine), fabric_(fabric), state_(fabric->RegionCount()) {}
 
 Result<SlotScheduler::Placement> SlotScheduler::Acquire(const Bitstream& bitstream) {
+  obs::ScopedSpan acquire(tracer_, engine_, obs::Subsystem::kFpga, "fpga.acquire");
   // 1. Already resident?
   for (RegionId r = 0; r < state_.size(); ++r) {
     auto loaded = fabric_->LoadedBitstream(r);
@@ -55,6 +56,9 @@ Result<SlotScheduler::Placement> SlotScheduler::Acquire(const Bitstream& bitstre
         // The slot failed under us; reschedule onto another region.
         ++migrations_;
         counters_.Increment("slot_migrations");
+        if (obs::kCompiledIn && tracer_ != nullptr) {
+          tracer_->Instant(obs::Subsystem::kFpga, "fpga.migrate", engine_->Now());
+        }
         continue;
       }
       return latency.status();

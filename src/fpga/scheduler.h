@@ -40,6 +40,10 @@ class SlotScheduler {
   // Unpins a region previously returned by Acquire.
   Status Release(RegionId region);
 
+  // Attaches a tracer (null detaches): Acquire emits an fpga.acquire span
+  // and an fpga.migrate marker for every failed-slot migration.
+  void SetTracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
   uint64_t evictions() const { return evictions_; }
@@ -56,6 +60,7 @@ class SlotScheduler {
 
   sim::Engine* engine_;
   Fabric* fabric_;
+  obs::Tracer* tracer_ = nullptr;
   std::vector<RegionState> state_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;

@@ -25,6 +25,7 @@
 #include "src/common/result.h"
 #include "src/common/rng.h"
 #include "src/net/fabric.h"
+#include "src/obs/trace.h"
 #include "src/sim/fault.h"
 
 namespace hyperion::net {
@@ -71,8 +72,13 @@ class Transport {
   // total byte count, so the latency model is independent of segmentation.
   Result<sim::Duration> SendFrame(HostId src, HostId dst, const BufferChain& frame) {
     fabric_->NoteFrame(frame);
+    obs::ScopedSpan span(tracer_, engine(), obs::Subsystem::kNet, "net.send");
     return Send(src, dst, frame.size());
   }
+
+  // Attaches a tracer (null detaches): SendFrame emits a net.send span
+  // covering the modelled wire + software time of each frame.
+  void SetTracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
   // Request/response exchange; reliable transports retry internally.
   virtual Result<sim::Duration> RoundTrip(HostId src, HostId dst, uint64_t request_bytes,
@@ -95,6 +101,7 @@ class Transport {
   Fabric* fabric_;
   Rng* rng_;
   TransportParams params_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 std::unique_ptr<Transport> MakeTransport(TransportKind kind, Fabric* fabric, Rng* rng,

@@ -56,6 +56,7 @@ Completion Controller::Execute(const Command& cmd) {
       if (injector_ != nullptr && injector_->ShouldInject(sim::FaultSite::kNvmeCmdTimeout)) {
         // The command hangs at the device; the host-side watchdog expires
         // and posts an abort completion after the full timeout.
+        obs::ScopedSpan timeout_span(tracer_, engine_, obs::Subsystem::kNvme, "nvme.timeout");
         engine_->Advance(command_timeout_);
         counters_.Add("nvme_cmd_timeouts", 1);
         cqe.status = CmdStatus::kAbortedByTimeout;
@@ -91,6 +92,7 @@ Completion Controller::Execute(const Command& cmd) {
         return cqe;
       }
       if (injector_ != nullptr && injector_->ShouldInject(sim::FaultSite::kNvmeCmdTimeout)) {
+        obs::ScopedSpan timeout_span(tracer_, engine_, obs::Subsystem::kNvme, "nvme.timeout");
         engine_->Advance(command_timeout_);
         counters_.Add("nvme_cmd_timeouts", 1);
         cqe.status = CmdStatus::kAbortedByTimeout;
@@ -158,7 +160,14 @@ std::optional<Completion> Controller::Reap(uint16_t qid) {
 
 Completion Controller::ExecuteWithRetry(Command cmd) {
   for (uint32_t attempt = 0;; ++attempt) {
-    Completion cqe = Execute(cmd);
+    Completion cqe;
+    if (attempt == 0) {
+      cqe = Execute(cmd);
+    } else {
+      // Recovery span: one per reissue, covering the repeated media trip.
+      obs::ScopedSpan retry(tracer_, engine_, obs::Subsystem::kNvme, "nvme.retry");
+      cqe = Execute(cmd);
+    }
     if (cqe.status == CmdStatus::kSuccess) {
       if (attempt > 0) {
         counters_.Add("nvme_retry_recoveries", 1);
@@ -181,6 +190,7 @@ Result<Bytes> Controller::Read(uint32_t nsid, uint64_t slba, uint32_t block_coun
   if (block_count == 0) {
     return InvalidArgument("zero-length read");
   }
+  obs::ScopedSpan span(tracer_, engine_, obs::Subsystem::kNvme, "nvme.read");
   Command cmd;
   cmd.cid = next_cid_++;
   cmd.opcode = Opcode::kRead;
@@ -207,6 +217,7 @@ Status Controller::WriteChain(uint32_t nsid, uint64_t slba, BufferChain data) {
   if (data.empty() || data.size() % kLbaSize != 0) {
     return InvalidArgument("write must be a whole number of LBAs");
   }
+  obs::ScopedSpan span(tracer_, engine_, obs::Subsystem::kNvme, "nvme.write");
   Command cmd;
   cmd.cid = next_cid_++;
   cmd.opcode = Opcode::kWrite;
@@ -225,6 +236,7 @@ Status Controller::WriteChain(uint32_t nsid, uint64_t slba, BufferChain data) {
 }
 
 Status Controller::Flush(uint32_t nsid) {
+  obs::ScopedSpan span(tracer_, engine_, obs::Subsystem::kNvme, "nvme.flush");
   Command cmd;
   cmd.cid = next_cid_++;
   cmd.opcode = Opcode::kFlush;

@@ -17,6 +17,7 @@
 #include "src/nvme/command.h"
 #include "src/nvme/flash.h"
 #include "src/nvme/queue.h"
+#include "src/obs/trace.h"
 #include "src/sim/engine.h"
 #include "src/sim/fault.h"
 #include "src/sim/stats.h"
@@ -71,6 +72,11 @@ class Controller {
   // facade reissues transient failures up to the retry budget.
   void SetFaultInjector(sim::FaultInjector* injector) { injector_ = injector; }
 
+  // Attaches a tracer (null detaches). The synchronous facade emits
+  // nvme.read / nvme.write / nvme.flush spans; recovery paths add
+  // nvme.retry (each reissue) and nvme.timeout (watchdog expiry).
+  void SetTracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
   // Bounded reissue budget for the synchronous facade (reissues, not total
   // attempts: 3 means up to 4 submissions of the same command).
   void SetRetryLimit(uint32_t retries) { retry_limit_ = retries; }
@@ -95,6 +101,7 @@ class Controller {
   std::vector<std::unique_ptr<QueuePair>> queues_;
   uint16_t next_cid_ = 1;
   sim::FaultInjector* injector_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
   uint32_t retry_limit_ = 3;
   sim::Duration command_timeout_ = 5 * sim::kMillisecond;
   sim::Counters counters_;

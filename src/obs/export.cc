@@ -1,0 +1,176 @@
+#include "src/obs/export.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace hyperion::obs {
+
+namespace {
+
+// Microseconds with nanosecond remainder as three decimal digits — the
+// trace_event format uses µs and fractional values keep ns precision.
+void AppendMicros(std::string& out, uint64_t ns) {
+  out += std::to_string(ns / 1000);
+  const uint64_t frac = ns % 1000;
+  if (frac != 0) {
+    out += '.';
+    out += static_cast<char>('0' + frac / 100);
+    out += static_cast<char>('0' + frac / 10 % 10);
+    out += static_cast<char>('0' + frac % 10);
+  }
+}
+
+}  // namespace
+
+std::string ToChromeTraceJson(const std::vector<SpanRecord>& spans) {
+  std::string out = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  for (const SpanRecord& span : spans) {
+    if (span.end == SpanRecord::kOpen) {
+      continue;
+    }
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += "{\"name\":\"";
+    out += span.name;  // span names are [a-z.]: no escaping needed
+    out += "\",\"cat\":\"";
+    out += SubsystemName(span.subsystem);
+    out += "\",\"ph\":\"X\",\"pid\":";
+    out += std::to_string(span.origin);
+    out += ",\"tid\":0,\"ts\":";
+    AppendMicros(out, span.begin);
+    out += ",\"dur\":";
+    AppendMicros(out, span.duration());
+    out += ",\"args\":{\"trace\":";
+    out += std::to_string(span.trace_id);
+    out += ",\"span\":";
+    out += std::to_string(span.id);
+    out += ",\"parent\":";
+    out += std::to_string(span.parent);
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+CriticalPathReport BuildCriticalPathReport(const std::vector<SpanRecord>& spans) {
+  CriticalPathReport report;
+  // parent id -> child indices; id -> index.
+  std::unordered_map<SpanId, std::vector<size_t>> children;
+  children.reserve(spans.size());
+  for (size_t i = 0; i < spans.size(); ++i) {
+    if (spans[i].end == SpanRecord::kOpen) {
+      continue;
+    }
+    if (spans[i].parent != 0) {
+      children[spans[i].parent].push_back(i);
+    }
+  }
+
+  // Self-time of span i = duration minus the union of its children's
+  // intervals clipped to it: time the request spent *in this layer* and not
+  // in a deeper one. Iterative DFS keeps deep rpc chains off the C stack.
+  struct Interval {
+    sim::SimTime begin;
+    sim::SimTime end;
+  };
+  std::vector<Interval> clips;
+  auto self_time = [&](const SpanRecord& span) -> sim::Duration {
+    clips.clear();
+    auto it = children.find(span.id);
+    if (it != children.end()) {
+      for (size_t child : it->second) {
+        const SpanRecord& c = spans[child];
+        const sim::SimTime b = std::max(c.begin, span.begin);
+        const sim::SimTime e = std::min(c.end, span.end);
+        if (e > b) {
+          clips.push_back({b, e});
+        }
+      }
+    }
+    if (clips.empty()) {
+      return span.duration();
+    }
+    std::sort(clips.begin(), clips.end(),
+              [](const Interval& a, const Interval& b) { return a.begin < b.begin; });
+    sim::Duration covered = 0;
+    sim::SimTime cursor = span.begin;
+    for (const Interval& clip : clips) {
+      const sim::SimTime b = std::max(clip.begin, cursor);
+      if (clip.end > b) {
+        covered += clip.end - b;
+        cursor = clip.end;
+      }
+    }
+    return span.duration() - covered;
+  };
+
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const SpanRecord& root = spans[i];
+    if (root.parent != 0 || root.end == SpanRecord::kOpen) {
+      continue;
+    }
+    CriticalPathRow row;
+    row.trace_id = root.trace_id;
+    row.root_name = root.name;
+    row.total_ns = root.duration();
+    std::vector<size_t> stack = {i};
+    while (!stack.empty()) {
+      const size_t index = stack.back();
+      stack.pop_back();
+      const SpanRecord& span = spans[index];
+      row.by_subsystem[static_cast<size_t>(span.subsystem)] += self_time(span);
+      auto it = children.find(span.id);
+      if (it != children.end()) {
+        stack.insert(stack.end(), it->second.begin(), it->second.end());
+      }
+    }
+    for (size_t s = 0; s < kSubsystemCount; ++s) {
+      report.totals[s] += row.by_subsystem[s];
+    }
+    report.rows.push_back(std::move(row));
+  }
+  return report;
+}
+
+std::string CriticalPathReport::Summary() const {
+  sim::Duration grand = 0;
+  for (sim::Duration t : totals) {
+    grand += t;
+  }
+  std::string out = "critical path over " + std::to_string(rows.size()) + " request(s), " +
+                    std::to_string(grand) + " ns total\n";
+  for (size_t s = 0; s < kSubsystemCount; ++s) {
+    if (totals[s] == 0) {
+      continue;
+    }
+    const uint64_t permille = grand == 0 ? 0 : totals[s] * 1000 / grand;
+    out += "  ";
+    out += SubsystemName(static_cast<Subsystem>(s));
+    out += ": " + std::to_string(totals[s]) + " ns (" + std::to_string(permille / 10) + "." +
+           std::to_string(permille % 10) + "%)\n";
+  }
+  return out;
+}
+
+void ImportEngineStats(MetricsRegistry* registry, const sim::EngineStats& stats) {
+  registry->Add(Subsystem::kEngine, "scheduled", stats.scheduled);
+  registry->Add(Subsystem::kEngine, "wheel_scheduled", stats.wheel_scheduled);
+  registry->Add(Subsystem::kEngine, "heap_scheduled", stats.heap_scheduled);
+  registry->Add(Subsystem::kEngine, "heap_migrated", stats.heap_migrated);
+  registry->Add(Subsystem::kEngine, "inline_callbacks", stats.inline_callbacks);
+  registry->Add(Subsystem::kEngine, "boxed_callbacks", stats.boxed_callbacks);
+  registry->Add(Subsystem::kEngine, "pool_slabs", stats.pool_slabs);
+}
+
+void ImportParallelStats(MetricsRegistry* registry, const sim::ParallelEngineStats& stats) {
+  registry->Add(Subsystem::kEngine, "epochs", stats.epochs);
+  registry->Add(Subsystem::kEngine, "events_run", stats.events_run);
+  registry->Add(Subsystem::kEngine, "messages", stats.messages);
+  registry->Add(Subsystem::kEngine, "cross_shard_messages", stats.cross_shard_messages);
+  registry->Add(Subsystem::kEngine, "max_outbox", stats.max_outbox);
+}
+
+}  // namespace hyperion::obs

@@ -1,0 +1,73 @@
+// Trace export + critical-path analysis (PR 4).
+//
+// Two consumers of a merged span vector:
+//
+//   * ToChromeTraceJson — the Chrome `trace_event` array-of-objects format
+//     (load in chrome://tracing or Perfetto). Spans become "X" (complete)
+//     events with pid = origin, tid = 0, ts/dur in microseconds (the format
+//     is µs-based; we emit fractional µs so nanosecond precision survives),
+//     cat = subsystem, and the trace/span/parent ids in args.
+//   * CriticalPathReport — per-request layer breakdown: for every root span
+//     (the per-request "rpc.call" or workload span), walk its tree and
+//     attribute each instant of the root's interval to the deepest span
+//     covering it, bucketed by subsystem. This answers the Fig. 2 question
+//     directly: of a request's latency, how much was net wire time vs. NVMe
+//     service vs. PCIe DMA vs. FPGA scheduling vs. RPC framing.
+//
+// Engine import helpers live here too: ImportEngineStats/
+// ImportParallelStats copy sim::EngineStats / ParallelEngineStats into a
+// MetricsRegistry, which is how the engine is "instrumented" without the
+// sim layer depending on obs (and without adding a single branch to the
+// per-event hot path).
+
+#ifndef HYPERION_SRC_OBS_EXPORT_H_
+#define HYPERION_SRC_OBS_EXPORT_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/sim/engine.h"
+#include "src/sim/parallel.h"
+
+namespace hyperion::obs {
+
+// Chrome trace_event JSON: {"traceEvents":[...],"displayTimeUnit":"ns"}.
+// Spans must be closed (end != kOpen); open spans are skipped.
+std::string ToChromeTraceJson(const std::vector<SpanRecord>& spans);
+
+// Self-time per subsystem within one request tree, ns.
+struct CriticalPathRow {
+  TraceId trace_id = 0;
+  std::string root_name;
+  sim::Duration total_ns = 0;  // root span duration
+  // Self-time attributed to each subsystem (deepest-covering-span wins);
+  // indexed by Subsystem. Sums to total_ns.
+  std::array<sim::Duration, kSubsystemCount> by_subsystem{};
+
+  bool operator==(const CriticalPathRow&) const = default;
+};
+
+struct CriticalPathReport {
+  std::vector<CriticalPathRow> rows;       // one per root span, merged order
+  std::array<sim::Duration, kSubsystemCount> totals{};  // column sums
+
+  // Human-readable table: one line per subsystem with total ns and share,
+  // plus the aggregate request count. For bench printouts and EXPERIMENTS.
+  std::string Summary() const;
+};
+
+// Builds the per-request breakdown from a merged, closed span vector.
+CriticalPathReport BuildCriticalPathReport(const std::vector<SpanRecord>& spans);
+
+// Engine instrumentation: copy the engine's internal tallies into the
+// registry under Subsystem::kEngine. Call at snapshot points (end of run).
+void ImportEngineStats(MetricsRegistry* registry, const sim::EngineStats& stats);
+void ImportParallelStats(MetricsRegistry* registry, const sim::ParallelEngineStats& stats);
+
+}  // namespace hyperion::obs
+
+#endif  // HYPERION_SRC_OBS_EXPORT_H_

@@ -21,6 +21,7 @@ Result<sim::Duration> DmaEngine::DoTransfer(NodeId src, NodeId dst, uint64_t byt
                                             const char* kind) {
   ASSIGN_OR_RETURN(sim::Duration latency, topology_->TransferLatency(src, dst, bytes));
   ASSIGN_OR_RETURN(uint32_t hops, topology_->PathHops(src, dst));
+  obs::ScopedSpan span(tracer_, engine_, obs::Subsystem::kPcie, "pcie.dma");
   // Injected link drops: each one costs a retrain, after which the
   // data-link layer replays the outstanding TLPs — recovery is below the
   // software's horizon unless the link refuses to come back.
@@ -31,7 +32,10 @@ Result<sim::Duration> DmaEngine::DoTransfer(NodeId src, NodeId dst, uint64_t byt
       counters_.Add("pcie_link_down", 1);
       return Unavailable("PCIe link down: retrain limit exceeded");
     }
-    engine_->Advance(kRetrainLatency);
+    {
+      obs::ScopedSpan retrain(tracer_, engine_, obs::Subsystem::kPcie, "pcie.retrain");
+      engine_->Advance(kRetrainLatency);
+    }
     retrain_total += kRetrainLatency;
     counters_.Add("pcie_link_drops", 1);
   }

@@ -13,6 +13,7 @@
 
 #include "src/common/buffer.h"
 #include "src/common/result.h"
+#include "src/obs/trace.h"
 #include "src/pcie/topology.h"
 #include "src/sim/engine.h"
 #include "src/sim/fault.h"
@@ -45,6 +46,10 @@ class DmaEngine {
   // link drops, absorbed by retrain + replay up to kMaxRetrains.
   void SetFaultInjector(sim::FaultInjector* injector) { injector_ = injector; }
 
+  // Attaches a tracer (null detaches): transfers emit pcie.dma spans, and
+  // each injected link drop adds a pcie.retrain recovery span.
+  void SetTracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
   // Synchronous transfer of `bytes` from node `src` to node `dst`:
   // advances virtual time by the modelled latency and returns it.
   Result<sim::Duration> Transfer(NodeId src, NodeId dst, uint64_t bytes);
@@ -68,6 +73,7 @@ class DmaEngine {
   sim::Engine* engine_;
   const Topology* topology_;
   sim::FaultInjector* injector_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
   sim::Counters counters_;
 };
 

@@ -10,21 +10,12 @@
 
 #include "src/dpu/cluster.h"
 #include "src/dpu/distributed.h"
+#include "tests/testutil.h"
 
 namespace hyperion::dpu {
 namespace {
 
-ClusterOptions SmallCluster() {
-  ClusterOptions options;
-  options.num_nodes = 4;
-  options.workload.clients_per_node = 2;
-  options.workload.ops_per_client = 8;
-  options.workload.value_bytes = 64;
-  options.workload.key_space = 128;
-  options.workload.write_pct = 50;
-  options.workload.seed = 21;
-  return options;
-}
+ClusterOptions SmallCluster() { return testutil::SmallClusterOptions(); }
 
 TEST(KvPartitionTest, ShardedPlacementMatchesSynchronousClient) {
   // Neither client dereferences its stubs for PartitionOf, so null transports

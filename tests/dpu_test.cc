@@ -9,42 +9,14 @@
 #include "src/dpu/rpc.h"
 #include "src/dpu/services.h"
 #include "src/ebpf/assembler.h"
+#include "tests/testutil.h"
 
 namespace hyperion::dpu {
 namespace {
 
-class DpuTest : public ::testing::Test {
- protected:
-  DpuTest() : fabric_(&engine_), dpu_(&engine_, &fabric_) {
-    client_host_ = fabric_.AddHost("client");
-  }
-
-  void BootAndInstall(storage::KvBackend backend = storage::KvBackend::kBTree) {
-    ASSERT_TRUE(dpu_.Boot().ok());
-    auto services = HyperionServices::Install(&dpu_, backend);
-    ASSERT_TRUE(services.ok());
-    services_ = std::move(*services);
-    transport_ = net::MakeTransport(net::TransportKind::kRdma, &fabric_, &rng_);
-    rpc_client_ = std::make_unique<RpcClient>(transport_.get(), client_host_,
-                                              dpu_.host_id(), &dpu_.rpc());
-  }
-
-  RpcResponse Call(ServiceId service, uint16_t opcode, Bytes payload) {
-    RpcRequest request{service, opcode, std::move(payload)};
-    auto response = rpc_client_->Call(request);
-    EXPECT_TRUE(response.ok());
-    return response.ok() ? *response : RpcResponse::Fail(response.status());
-  }
-
-  sim::Engine engine_;
-  net::Fabric fabric_;
-  Hyperion dpu_;
-  net::HostId client_host_ = 0;
-  Rng rng_{7};
-  std::unique_ptr<HyperionServices> services_;
-  std::unique_ptr<net::Transport> transport_;
-  std::unique_ptr<RpcClient> rpc_client_;
-};
+// Boot + services + RDMA client via BootAndConnect(); the shared harness
+// holds the world (engine_, dpu_, services_, rpc_client_, ...).
+using DpuTest = testutil::DpuFixture;
 
 TEST_F(DpuTest, BootTakesSecondsAndIsIdempotent) {
   auto boot = dpu_.Boot();
@@ -156,7 +128,7 @@ TEST_F(DpuTest, RpcFrameMatchesContiguousWireFormat) {
 }
 
 TEST_F(DpuTest, KvServiceOverRpc) {
-  BootAndInstall();
+  BootAndConnect();
   Bytes put;
   PutU64(put, 42);
   Bytes value = ToBytes("hello-dpu");
@@ -179,7 +151,7 @@ TEST_F(DpuTest, KvServiceOverRpc) {
 }
 
 TEST_F(DpuTest, KvScanOverRpc) {
-  BootAndInstall();
+  BootAndConnect();
   for (uint64_t k = 10; k < 20; ++k) {
     Bytes put;
     PutU64(put, k);
@@ -198,7 +170,7 @@ TEST_F(DpuTest, KvScanOverRpc) {
 }
 
 TEST_F(DpuTest, LogServiceOverRpc) {
-  BootAndInstall();
+  BootAndConnect();
   Bytes entry = ToBytes("log-entry-0");
   RpcResponse appended = Call(ServiceId::kLog, LogOp::kAppend, entry);
   ASSERT_TRUE(appended.status.ok());
@@ -217,7 +189,7 @@ TEST_F(DpuTest, LogServiceOverRpc) {
 }
 
 TEST_F(DpuTest, ControlDeployOverRpc) {
-  BootAndInstall();
+  BootAndConnect();
   auto prog = ebpf::Assemble("mov r0, 99\nexit\n", "remote", 64);
   ASSERT_TRUE(prog.ok());
   Bytes payload;
@@ -233,7 +205,7 @@ TEST_F(DpuTest, ControlDeployOverRpc) {
 }
 
 TEST_F(DpuTest, ControlDeployWithBadTokenFailsOverRpc) {
-  BootAndInstall();
+  BootAndConnect();
   auto prog = ebpf::Assemble("mov r0, 0\nexit\n");
   ASSERT_TRUE(prog.ok());
   Bytes payload;
@@ -248,7 +220,7 @@ TEST_F(DpuTest, ControlDeployWithBadTokenFailsOverRpc) {
 // -- Pointer chasing -----------------------------------------------------
 
 TEST_F(DpuTest, OffloadedLookupBeatsClientDriven) {
-  BootAndInstall();
+  BootAndConnect();
   // Populate the tree service with enough keys for height >= 3.
   for (uint64_t k = 0; k < 3000; ++k) {
     Bytes v;
@@ -277,7 +249,7 @@ TEST_F(DpuTest, OffloadedLookupBeatsClientDriven) {
 }
 
 TEST_F(DpuTest, ClientDrivenMissesGracefully) {
-  BootAndInstall();
+  BootAndConnect();
   Bytes v = {1};
   ASSERT_TRUE(services_->tree().Insert(1, ByteSpan(v.data(), 1)).ok());
   RemoteTreeClient remote(rpc_client_.get());
@@ -300,19 +272,15 @@ namespace control_path_extras {
 using namespace hyperion;  // NOLINT
 using namespace hyperion::dpu;  // NOLINT
 
-class ControlTest : public ::testing::Test {
+class ControlTest : public testutil::DpuFixture {
  protected:
-  ControlTest() : fabric_(&engine_), dpu_(&engine_, &fabric_) { CHECK_OK(dpu_.Boot()); }
+  ControlTest() { Boot(); }  // booted, but no services until a test asks
 
   ebpf::Program Trivial(const std::string& name) {
     auto prog = ebpf::Assemble("mov r0, 1\nexit\n", name, 64);
     CHECK_OK(prog.status());
     return *prog;
   }
-
-  sim::Engine engine_;
-  net::Fabric fabric_;
-  Hyperion dpu_;
 };
 
 TEST_F(ControlTest, UndeployFreesTheSlotForEviction) {
@@ -370,12 +338,8 @@ TEST_F(ControlTest, CreateMapOverControlPathAndUseIt) {
 }
 
 TEST_F(ControlTest, RawBitstreamLoadOverRpc) {
-  auto services = HyperionServices::Install(&dpu_);
-  ASSERT_TRUE(services.ok());
-  const net::HostId client = fabric_.AddHost("client");
-  Rng rng(4);
-  auto transport = net::MakeTransport(net::TransportKind::kRdma, &fabric_, &rng);
-  RpcClient rpc(transport.get(), client, dpu_.host_id(), &dpu_.rpc());
+  InstallServices();
+  ConnectClient();
 
   Bytes payload;
   PutString(payload, std::string(dpu_.config().control_token));
@@ -385,7 +349,8 @@ TEST_F(ControlTest, RawBitstreamLoadOverRpc) {
   PutU32(payload, 2);           // slices
   PutU32(payload, 3200);        // 320.0 MHz
   const sim::SimTime t0 = engine_.Now();
-  auto loaded = rpc.Call({ServiceId::kControl, ControlOp::kLoadBitstream, std::move(payload)});
+  auto loaded =
+      rpc_client_->Call({ServiceId::kControl, ControlOp::kLoadBitstream, std::move(payload)});
   ASSERT_TRUE(loaded.ok());
   ASSERT_TRUE(loaded->status.ok());
   const auto region = GetU32(loaded->payload, 0);

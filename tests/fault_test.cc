@@ -7,6 +7,11 @@
 // off a failed FPGA region. These tests drive each fault -> recovery path
 // end to end and pin the determinism contract: the same seeded workload
 // through sim::Engine is bit-stable, with and without an active FaultPlan.
+//
+// PR 4 adds trace coverage on the same paths: every injected fault must
+// leave a recovery span behind (nvme.retry / nvme.timeout, pcie.retrain,
+// rpc.backoff, fpga.migrate), so an operator reading a trace sees not just
+// the latency cliff but the recovery machinery that caused it.
 
 #include <gtest/gtest.h>
 
@@ -20,9 +25,11 @@
 #include "src/fpga/fabric.h"
 #include "src/fpga/scheduler.h"
 #include "src/nvme/controller.h"
+#include "src/obs/trace.h"
 #include "src/pcie/dma.h"
 #include "src/pcie/topology.h"
 #include "src/sim/fault.h"
+#include "tests/testutil.h"
 
 namespace hyperion {
 namespace {
@@ -30,6 +37,7 @@ namespace {
 using sim::FaultPlan;
 using sim::FaultRule;
 using sim::FaultSite;
+using testutil::CountSpans;
 
 // -- FaultInjector mechanics ----------------------------------------------
 
@@ -92,24 +100,16 @@ TEST(FaultInjector, ProbabilityStreamsAreDeterministic) {
 
 // -- NVMe: media errors and timeouts -> bounded reissue -------------------
 
-class NvmeFaultTest : public ::testing::Test {
- protected:
-  NvmeFaultTest() : controller_(&engine_) {
-    nsid_ = controller_.AddNamespace(1024);
-    Bytes block(nvme::kLbaSize, 0xab);
-    CHECK_OK(controller_.Write(nsid_, 7, ByteSpan(block.data(), block.size())));
-  }
-
-  sim::Engine engine_;
-  nvme::Controller controller_;
-  uint32_t nsid_ = 0;
-};
+// Controller + one namespace + sentinel block at LBA 7 (testutil fixture).
+using NvmeFaultTest = testutil::NvmeFixture;
 
 TEST_F(NvmeFaultTest, ReadErrorRetriesThenSucceeds) {
   FaultPlan plan;
   plan.Always(FaultSite::kNvmeReadError, /*count=*/2);
   sim::FaultInjector injector(&engine_, plan);
   controller_.SetFaultInjector(&injector);
+  obs::Tracer tracer;
+  controller_.SetTracer(&tracer);
 
   auto data = controller_.Read(nsid_, 7, 1);
   ASSERT_TRUE(data.ok()) << data.status().ToString();
@@ -118,6 +118,19 @@ TEST_F(NvmeFaultTest, ReadErrorRetriesThenSucceeds) {
   EXPECT_EQ(controller_.counters().Get("nvme_media_errors"), 2u);
   EXPECT_EQ(controller_.counters().Get("nvme_retries"), 2u);
   EXPECT_EQ(controller_.counters().Get("nvme_retry_recoveries"), 1u);
+  // The recovery left a trace: one read span wrapping two retry attempts,
+  // each with nonzero duration (the media access was re-paid), all nested
+  // under the facade's nvme.read.
+  EXPECT_EQ(CountSpans(tracer, "nvme.read"), 1u);
+  EXPECT_EQ(CountSpans(tracer, "nvme.retry"), 2u);
+  EXPECT_EQ(tracer.open_depth(), 0u);
+  for (const obs::SpanRecord& span : tracer.spans()) {
+    ASSERT_NE(span.end, obs::SpanRecord::kOpen) << span.name;
+    if (span.name == "nvme.retry") {
+      EXPECT_GT(span.duration(), 0u);
+      EXPECT_NE(span.parent, 0u);  // nested in the read
+    }
+  }
 }
 
 TEST_F(NvmeFaultTest, RetryBudgetExhaustedSurfacesDataLoss) {
@@ -143,12 +156,22 @@ TEST_F(NvmeFaultTest, CommandTimeoutCostsWatchdogThenRecovers) {
   sim::FaultInjector injector(&engine_, plan);
   controller_.SetFaultInjector(&injector);
 
+  obs::Tracer tracer;
+  controller_.SetTracer(&tracer);
+
   const sim::SimTime before = engine_.Now();
   auto data = controller_.Read(nsid_, 7, 1);
   ASSERT_TRUE(data.ok());
   EXPECT_GE(engine_.Now() - before, controller_.command_timeout());
   EXPECT_EQ(controller_.counters().Get("nvme_cmd_timeouts"), 1u);
   EXPECT_EQ(controller_.counters().Get("nvme_retry_recoveries"), 1u);
+  // The watchdog wait shows up as a timeout span covering the full budget.
+  ASSERT_EQ(CountSpans(tracer, "nvme.timeout"), 1u);
+  for (const obs::SpanRecord& span : tracer.spans()) {
+    if (span.name == "nvme.timeout") {
+      EXPECT_EQ(span.duration(), controller_.command_timeout());
+    }
+  }
 }
 
 TEST_F(NvmeFaultTest, QueuePairPathSurfacesRawStatus) {
@@ -197,6 +220,8 @@ TEST_F(PcieFaultTest, LinkDropRetrainsAndReplays) {
   sim::FaultInjector injector(&engine_, plan);
   pcie::DmaEngine dma(&engine_, &topology_);
   dma.SetFaultInjector(&injector);
+  obs::Tracer tracer;
+  dma.SetTracer(&tracer);
 
   auto latency = dma.Transfer(src_, dst_, 4096);
   ASSERT_TRUE(latency.ok());
@@ -204,6 +229,14 @@ TEST_F(PcieFaultTest, LinkDropRetrainsAndReplays) {
   EXPECT_EQ(dma.counters().Get("pcie_link_drops"), 2u);
   EXPECT_EQ(dma.counters().Get("pcie_replays"), 1u);
   EXPECT_EQ(dma.counters().Get("dma_transfers"), 1u);
+  // Each drop retrained the link under the transfer's pcie.dma span.
+  EXPECT_EQ(CountSpans(tracer, "pcie.dma"), 1u);
+  EXPECT_EQ(CountSpans(tracer, "pcie.retrain"), 2u);
+  for (const obs::SpanRecord& span : tracer.spans()) {
+    if (span.name == "pcie.retrain") {
+      EXPECT_EQ(span.duration(), pcie::DmaEngine::kRetrainLatency);
+    }
+  }
 }
 
 TEST_F(PcieFaultTest, LinkStayingDownSurfacesUnavailable) {
@@ -233,6 +266,9 @@ TEST(FpgaFaultTest, SlotFailureMigratesToAnotherRegion) {
   plan.Always(FaultSite::kFpgaReconfigFail, /*count=*/1);
   sim::FaultInjector injector(&engine, plan);
   fabric.SetFaultInjector(&injector);
+  obs::Tracer tracer;
+  fabric.SetTracer(&tracer);
+  scheduler.SetTracer(&tracer);
 
   fpga::Bitstream bs;
   bs.name = "kv_accel";
@@ -247,6 +283,12 @@ TEST(FpgaFaultTest, SlotFailureMigratesToAnotherRegion) {
   EXPECT_EQ(scheduler.counters().Get("slot_migrations"), 1u);
   EXPECT_EQ(fabric.counters().Get("reconfig_failures"), 1u);
   EXPECT_EQ(fabric.counters().Get("reconfigurations"), 1u);
+  // One acquire span containing the aborted + successful reconfigurations
+  // and an instant migration marker between them.
+  EXPECT_EQ(CountSpans(tracer, "fpga.acquire"), 1u);
+  EXPECT_EQ(CountSpans(tracer, "fpga.reconfig"), 2u);
+  EXPECT_EQ(CountSpans(tracer, "fpga.migrate"), 1u);
+  EXPECT_EQ(tracer.open_depth(), 0u);
 
   // A failed slot rejects new work until repaired.
   EXPECT_EQ(fabric.Reconfigure(0, bs).status().code(), StatusCode::kUnavailable);
@@ -279,45 +321,25 @@ TEST(FpgaFaultTest, AllSlotsFailedSurfacesResourceExhausted) {
 
 // -- RPC: loss -> backoff -> deadline, response drop -> reissue -----------
 
-class RpcFaultTest : public ::testing::Test {
+class RpcFaultTest : public testutil::DpuFixture {
  protected:
-  RpcFaultTest() : fabric_(&engine_), dpu_(&engine_, &fabric_) {
-    client_host_ = fabric_.AddHost("client");
-    CHECK_OK(dpu_.Boot().status());
-    auto services = dpu::HyperionServices::Install(&dpu_);
-    CHECK_OK(services.status());
-    services_ = std::move(*services);
-  }
+  RpcFaultTest() : testutil::DpuFixture(/*seed=*/21) { BootAndInstall(); }
 
+  // Lossy-UDP client with the injector wired into both the transport and
+  // the client's own injection points.
   void MakeClient(sim::FaultInjector* injector, const dpu::RetryPolicy& policy) {
     net::TransportParams params;
     params.sender_sw_overhead = 1500;
     params.receiver_sw_overhead = 1500;
     params.fault_injector = injector;
-    transport_ = net::MakeTransport(net::TransportKind::kUdp, &fabric_, &rng_, params);
-    client_ = std::make_unique<dpu::RpcClient>(transport_.get(), client_host_, dpu_.host_id(),
-                                               &dpu_.rpc());
-    client_->set_retry_policy(policy);
-    client_->SetFaultInjector(injector);
+    ConnectClient(net::TransportKind::kUdp, params);
+    rpc_client_->set_retry_policy(policy);
+    rpc_client_->SetFaultInjector(injector);
   }
 
   dpu::RpcRequest PutRequest(uint64_t key, uint32_t value_bytes) {
-    Bytes payload;
-    PutU64(payload, key);
-    PutU32(payload, value_bytes);
-    Bytes value(value_bytes, 0x5a);
-    PutBytes(payload, ByteSpan(value.data(), value.size()));
-    return {dpu::ServiceId::kKv, dpu::KvOp::kPut, std::move(payload)};
+    return testutil::KvPutRequest(key, value_bytes);
   }
-
-  sim::Engine engine_;
-  net::Fabric fabric_;
-  dpu::Hyperion dpu_;
-  net::HostId client_host_ = 0;
-  Rng rng_{21};
-  std::unique_ptr<dpu::HyperionServices> services_;
-  std::unique_ptr<net::Transport> transport_;
-  std::unique_ptr<dpu::RpcClient> client_;
 };
 
 TEST_F(RpcFaultTest, LossRetriesWithBackoffThenRecovers) {
@@ -325,15 +347,30 @@ TEST_F(RpcFaultTest, LossRetriesWithBackoffThenRecovers) {
   plan.Always(FaultSite::kNetLoss, /*count=*/2);
   sim::FaultInjector injector(&engine_, plan);
   MakeClient(&injector, dpu::RetryPolicy{.max_attempts = 5});
+  obs::Tracer tracer;
+  rpc_client_->SetTracer(&tracer);
 
-  auto response = client_->Call(PutRequest(1, 64));
+  auto response = rpc_client_->Call(PutRequest(1, 64));
   ASSERT_TRUE(response.ok()) << response.status().ToString();
   EXPECT_TRUE(response->status.ok());
-  EXPECT_EQ(client_->counters().Get("rpc_retries"), 2u);
-  EXPECT_EQ(client_->counters().Get("rpc_recoveries"), 1u);
+  EXPECT_EQ(rpc_client_->counters().Get("rpc_retries"), 2u);
+  EXPECT_EQ(rpc_client_->counters().Get("rpc_recoveries"), 1u);
   // Exponential backoff: first sleep 50us, second 100us.
-  EXPECT_EQ(client_->counters().Get("rpc_backoff_ns"),
+  EXPECT_EQ(rpc_client_->counters().Get("rpc_backoff_ns"),
             150 * static_cast<uint64_t>(sim::kMicrosecond));
+  // The call span wraps three attempts with a backoff span after each of
+  // the two lost ones; the backoff durations are the policy's sleeps.
+  EXPECT_EQ(CountSpans(tracer, "rpc.call"), 1u);
+  EXPECT_EQ(CountSpans(tracer, "rpc.attempt"), 3u);
+  EXPECT_EQ(CountSpans(tracer, "rpc.backoff"), 2u);
+  EXPECT_EQ(tracer.open_depth(), 0u);
+  uint64_t backoff_ns = 0;
+  for (const obs::SpanRecord& span : tracer.spans()) {
+    if (span.name == "rpc.backoff") {
+      backoff_ns += span.duration();
+    }
+  }
+  EXPECT_EQ(backoff_ns, rpc_client_->counters().Get("rpc_backoff_ns"));
 }
 
 TEST_F(RpcFaultTest, PersistentLossHitsDeadlineNotAHang) {
@@ -344,12 +381,12 @@ TEST_F(RpcFaultTest, PersistentLossHitsDeadlineNotAHang) {
   MakeClient(&injector, dpu::RetryPolicy{.max_attempts = 1u << 20});
 
   const sim::SimTime deadline = engine_.Now() + 20 * sim::kMillisecond;
-  auto response = client_->CallWithDeadline(PutRequest(2, 64), deadline);
+  auto response = rpc_client_->CallWithDeadline(PutRequest(2, 64), deadline);
   ASSERT_FALSE(response.ok());
   EXPECT_EQ(response.status().code(), StatusCode::kDeadlineExceeded);
   EXPECT_GE(engine_.Now(), deadline);
-  EXPECT_EQ(client_->counters().Get("rpc_deadline_exceeded"), 1u);
-  EXPECT_GT(client_->counters().Get("rpc_retries"), 0u);
+  EXPECT_EQ(rpc_client_->counters().Get("rpc_deadline_exceeded"), 1u);
+  EXPECT_GT(rpc_client_->counters().Get("rpc_retries"), 0u);
   // Backoff sleeps are truncated at the deadline, so the clock cannot have
   // run far past it (bounded by one attempt's wire time).
   EXPECT_LT(engine_.Now(), deadline + 1 * sim::kMillisecond);
@@ -361,11 +398,11 @@ TEST_F(RpcFaultTest, ExhaustedAttemptsSurfaceLastError) {
   sim::FaultInjector injector(&engine_, plan);
   MakeClient(&injector, dpu::RetryPolicy{.max_attempts = 3});
 
-  auto response = client_->Call(PutRequest(3, 64));
+  auto response = rpc_client_->Call(PutRequest(3, 64));
   ASSERT_FALSE(response.ok());
   EXPECT_EQ(response.status().code(), StatusCode::kUnavailable);
-  EXPECT_EQ(client_->counters().Get("rpc_attempts"), 3u);
-  EXPECT_EQ(client_->counters().Get("rpc_retries_exhausted"), 1u);
+  EXPECT_EQ(rpc_client_->counters().Get("rpc_attempts"), 3u);
+  EXPECT_EQ(rpc_client_->counters().Get("rpc_retries_exhausted"), 1u);
 }
 
 TEST_F(RpcFaultTest, DroppedResponseIsReissuedAtLeastOnce) {
@@ -374,16 +411,14 @@ TEST_F(RpcFaultTest, DroppedResponseIsReissuedAtLeastOnce) {
   sim::FaultInjector injector(&engine_, plan);
   MakeClient(&injector, dpu::RetryPolicy{.max_attempts = 3});
 
-  auto response = client_->Call(PutRequest(4, 64));
+  auto response = rpc_client_->Call(PutRequest(4, 64));
   ASSERT_TRUE(response.ok()) << response.status().ToString();
   EXPECT_TRUE(response->status.ok());
   // The server executed twice (at-least-once); the put is idempotent.
   EXPECT_EQ(dpu_.rpc().counters().Get("rpcs"), 2u);
-  EXPECT_EQ(client_->counters().Get("rpc_recoveries"), 1u);
+  EXPECT_EQ(rpc_client_->counters().Get("rpc_recoveries"), 1u);
 
-  Bytes get_payload;
-  PutU64(get_payload, 4);
-  auto got = client_->Call({dpu::ServiceId::kKv, dpu::KvOp::kGet, std::move(get_payload)});
+  auto got = rpc_client_->Call(testutil::KvGetRequest(4));
   ASSERT_TRUE(got.ok());
   EXPECT_TRUE(got->status.ok());
   EXPECT_EQ(got->payload.size(), 64u);
@@ -455,17 +490,10 @@ ScenarioResult RunScenario(uint64_t seed, const FaultPlan& plan, bool with_injec
         PutBytes(payload, ByteSpan(data.data(), data.size()));
         request = {dpu::ServiceId::kBlock, dpu::BlockOp::kWrite, std::move(payload)};
       } else if (i % 3 == 1) {  // KV get
-        Bytes payload;
-        PutU64(payload, key);
-        request = {dpu::ServiceId::kKv, dpu::KvOp::kGet, std::move(payload)};
+        request = testutil::KvGetRequest(key);
       } else {  // KV put
-        Bytes payload;
-        PutU64(payload, key);
         const uint32_t value_bytes = static_cast<uint32_t>(64 + rng.Uniform(4096));
-        PutU32(payload, value_bytes);
-        Bytes value(value_bytes, 0x5a);
-        PutBytes(payload, ByteSpan(value.data(), value.size()));
-        request = {dpu::ServiceId::kKv, dpu::KvOp::kPut, std::move(payload)};
+        request = testutil::KvPutRequest(key, value_bytes);
       }
       auto response = client.CallWithDeadline(request, deadline);
       if (response.ok() && response->status.ok()) {

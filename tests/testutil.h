@@ -1,0 +1,192 @@
+// Shared test harnesses (PR 4).
+//
+// Three fixtures and a handful of payload builders that previously lived as
+// near-identical copies in dpu_test.cc, fault_test.cc, and cluster_test.cc:
+//
+//   * DpuFixture     — one booted Hyperion DPU plus a client host on the
+//                      same fabric, with granular Boot / InstallServices /
+//                      ConnectClient steps so tests that exercise the
+//                      pre-boot control path can skip the later stages.
+//   * NvmeFixture    — a bare NVMe controller with one namespace and a
+//                      preloaded sentinel block (the fault-injection rig).
+//   * SmallClusterOptions — the 4-node, 2x8-op seeded KvCluster layout the
+//                      determinism regressions (result and golden-trace)
+//                      share as their oracle workload.
+//
+// Everything is header-only (inline) because each test binary is its own
+// translation unit; the fixtures use CHECK for setup steps that run in
+// constructors (gtest ASSERTs cannot) and leave per-test assertions to the
+// test bodies.
+
+#ifndef HYPERION_TESTS_TESTUTIL_H_
+#define HYPERION_TESTS_TESTUTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <memory>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+#include "src/dpu/cluster.h"
+#include "src/dpu/hyperion.h"
+#include "src/dpu/rpc.h"
+#include "src/dpu/services.h"
+#include "src/net/transport.h"
+#include "src/nvme/controller.h"
+#include "src/obs/trace.h"
+#include "src/sim/engine.h"
+
+namespace hyperion::testutil {
+
+// -- Trace helpers ---------------------------------------------------------
+
+// How many spans in `spans` carry exactly this name ("nvme.retry", ...).
+inline size_t CountSpans(const std::vector<obs::SpanRecord>& spans, std::string_view name) {
+  size_t count = 0;
+  for (const obs::SpanRecord& span : spans) {
+    if (span.name == name) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+inline size_t CountSpans(const obs::Tracer& tracer, std::string_view name) {
+  return CountSpans(tracer.spans(), name);
+}
+
+// -- KV payload builders ---------------------------------------------------
+
+// Put payload: key, value length, value bytes (the KvOp::kPut wire shape).
+inline Bytes KvPutPayload(uint64_t key, ByteSpan value) {
+  Bytes payload;
+  PutU64(payload, key);
+  PutU32(payload, static_cast<uint32_t>(value.size()));
+  PutBytes(payload, value);
+  return payload;
+}
+
+// Put payload with a constant-fill value of `value_bytes` bytes.
+inline Bytes KvPutPayload(uint64_t key, uint32_t value_bytes, uint8_t fill = 0x5a) {
+  Bytes value(value_bytes, fill);
+  return KvPutPayload(key, ByteSpan(value.data(), value.size()));
+}
+
+// Get/Delete payload: just the key.
+inline Bytes KvKeyPayload(uint64_t key) {
+  Bytes payload;
+  PutU64(payload, key);
+  return payload;
+}
+
+inline dpu::RpcRequest KvPutRequest(uint64_t key, uint32_t value_bytes, uint8_t fill = 0x5a) {
+  return {dpu::ServiceId::kKv, dpu::KvOp::kPut, KvPutPayload(key, value_bytes, fill)};
+}
+
+inline dpu::RpcRequest KvGetRequest(uint64_t key) {
+  return {dpu::ServiceId::kKv, dpu::KvOp::kGet, KvKeyPayload(key)};
+}
+
+// -- DPU fixture -----------------------------------------------------------
+
+// One simulated Hyperion DPU and a client host sharing a fabric. The setup
+// steps are granular because the tests disagree on how much world they
+// want: control-path tests boot but never install services, fault tests
+// boot + install but build their own (injected) transports, datapath tests
+// want the whole stack.
+class DpuFixture : public ::testing::Test {
+ protected:
+  explicit DpuFixture(uint64_t seed = 7)
+      : fabric_(&engine_), dpu_(&engine_, &fabric_), rng_(seed) {
+    client_host_ = fabric_.AddHost("client");
+  }
+
+  // Power-on boot. CHECK-based so subclasses may call it from constructors.
+  void Boot() { CHECK_OK(dpu_.Boot().status()); }
+
+  // Registers the KV/log/block/control services on the DPU's RPC server.
+  void InstallServices(storage::KvBackend backend = storage::KvBackend::kBTree) {
+    auto services = dpu::HyperionServices::Install(&dpu_, backend);
+    CHECK_OK(services.status());
+    services_ = std::move(*services);
+  }
+
+  // Client-side RPC stack over `kind` (loss/overhead knobs via `params`).
+  void ConnectClient(net::TransportKind kind = net::TransportKind::kRdma,
+                     net::TransportParams params = {}) {
+    transport_ = net::MakeTransport(kind, &fabric_, &rng_, params);
+    rpc_client_ = std::make_unique<dpu::RpcClient>(transport_.get(), client_host_,
+                                                   dpu_.host_id(), &dpu_.rpc());
+  }
+
+  void BootAndInstall(storage::KvBackend backend = storage::KvBackend::kBTree) {
+    Boot();
+    InstallServices(backend);
+  }
+
+  // The full stack: boot, services, and an RDMA client.
+  void BootAndConnect(storage::KvBackend backend = storage::KvBackend::kBTree) {
+    BootAndInstall(backend);
+    ConnectClient();
+  }
+
+  dpu::RpcResponse Call(dpu::ServiceId service, uint16_t opcode, Bytes payload) {
+    dpu::RpcRequest request{service, opcode, std::move(payload)};
+    auto response = rpc_client_->Call(request);
+    EXPECT_TRUE(response.ok());
+    return response.ok() ? *response : dpu::RpcResponse::Fail(response.status());
+  }
+
+  sim::Engine engine_;
+  net::Fabric fabric_;
+  dpu::Hyperion dpu_;
+  net::HostId client_host_ = 0;
+  Rng rng_;
+  std::unique_ptr<dpu::HyperionServices> services_;
+  std::unique_ptr<net::Transport> transport_;
+  std::unique_ptr<dpu::RpcClient> rpc_client_;
+};
+
+// -- NVMe fixture ----------------------------------------------------------
+
+// A bare controller with one namespace; LBA kPreloadLba holds a block of
+// kPreloadFill so read-after-fault tests can verify recovered data.
+class NvmeFixture : public ::testing::Test {
+ protected:
+  static constexpr uint64_t kPreloadLba = 7;
+  static constexpr uint8_t kPreloadFill = 0xab;
+
+  NvmeFixture() : controller_(&engine_) {
+    nsid_ = controller_.AddNamespace(1024);
+    Bytes block(nvme::kLbaSize, kPreloadFill);
+    CHECK_OK(controller_.Write(nsid_, kPreloadLba, ByteSpan(block.data(), block.size())));
+  }
+
+  sim::Engine engine_;
+  nvme::Controller controller_;
+  uint32_t nsid_ = 0;
+};
+
+// -- Cluster workload ------------------------------------------------------
+
+// The seeded 4-node layout both determinism regressions run: small enough
+// to finish in milliseconds, busy enough that every node serves remote ops.
+inline dpu::ClusterOptions SmallClusterOptions() {
+  dpu::ClusterOptions options;
+  options.num_nodes = 4;
+  options.workload.clients_per_node = 2;
+  options.workload.ops_per_client = 8;
+  options.workload.value_bytes = 64;
+  options.workload.key_space = 128;
+  options.workload.write_pct = 50;
+  options.workload.seed = 21;
+  return options;
+}
+
+}  // namespace hyperion::testutil
+
+#endif  // HYPERION_TESTS_TESTUTIL_H_
