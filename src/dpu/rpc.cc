@@ -99,11 +99,75 @@ BufferChain SerializeResponseFrame(const RpcResponse& response) {
 }
 
 namespace {
-// "TRC1", little-endian, leading a 20-byte trailer appended past the
-// request frame's header+payload. Parsers never read that far, so the
-// trailer is invisible to untraced peers.
+// Trailer magics ("TRC1" / "DLN1", little-endian), each leading a
+// fixed-size block appended past the request frame's header+payload.
+// Parsers never read that far, so trailers are invisible to peers that
+// understand neither.
 constexpr uint32_t kTraceTrailerMagic = 0x31435254;
 constexpr size_t kTraceTrailerBytes = 20;
+constexpr uint32_t kDeadlineTrailerMagic = 0x314e4c44;
+constexpr size_t kDeadlineTrailerBytes = 12;
+
+struct RequestTrailers {
+  obs::TraceContext trace;
+  sim::SimTime deadline = kNoDeadline;
+};
+
+// Offset just past the request frame's header+payload (where trailers
+// start), or SIZE_MAX when the frame is malformed or truncated.
+size_t RequestPayloadEnd(const BufferChain& frame) {
+  if (frame.segment_count() == 0) {
+    return ~size_t{0};
+  }
+  ByteReader header(frame.segment(0));
+  header.ReadU16();  // service
+  header.ReadU16();  // opcode
+  const uint32_t len = header.ReadU32();
+  if (!header.Ok()) {
+    return ~size_t{0};
+  }
+  const size_t end = header.offset() + len;
+  return end <= frame.size() ? end : ~size_t{0};
+}
+
+// Walks the trailer blocks in whatever order they were appended. An
+// unrecognized magic (or a short block) ends the walk: whatever parsed up
+// to that point stands, matching the pre-PR-5 tolerance for foreign bytes.
+RequestTrailers ScanRequestTrailers(const BufferChain& frame) {
+  RequestTrailers out;
+  size_t pos = RequestPayloadEnd(frame);
+  if (pos == ~size_t{0}) {
+    return out;
+  }
+  while (pos + 4 <= frame.size()) {
+    const Buffer magic_bytes = frame.SubChain(pos, 4).Gather();
+    ByteReader magic_reader{magic_bytes.span()};
+    const uint32_t magic = magic_reader.ReadU32();
+    if (magic == kTraceTrailerMagic && pos + kTraceTrailerBytes <= frame.size()) {
+      const Buffer block = frame.SubChain(pos + 4, kTraceTrailerBytes - 4).Gather();
+      ByteReader reader{block.span()};
+      obs::TraceContext context;
+      context.trace_id = reader.ReadU64();
+      context.parent_span = reader.ReadU64();
+      if (reader.Ok()) {
+        out.trace = context;
+      }
+      pos += kTraceTrailerBytes;
+    } else if (magic == kDeadlineTrailerMagic && pos + kDeadlineTrailerBytes <= frame.size()) {
+      const Buffer block = frame.SubChain(pos + 4, kDeadlineTrailerBytes - 4).Gather();
+      ByteReader reader{block.span()};
+      const sim::SimTime deadline = reader.ReadU64();
+      if (reader.Ok()) {
+        out.deadline = deadline;
+      }
+      pos += kDeadlineTrailerBytes;
+    } else {
+      break;
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 void AppendTraceTrailer(BufferChain& frame, obs::TraceContext context) {
@@ -114,30 +178,19 @@ void AppendTraceTrailer(BufferChain& frame, obs::TraceContext context) {
   frame.Append(Buffer(trailer.Take()));
 }
 
+void AppendDeadlineTrailer(BufferChain& frame, sim::SimTime deadline) {
+  ByteWriter trailer(kDeadlineTrailerBytes);
+  trailer.PutU32(kDeadlineTrailerMagic);
+  trailer.PutU64(deadline);
+  frame.Append(Buffer(trailer.Take()));
+}
+
 obs::TraceContext ExtractRequestTraceContext(const BufferChain& frame) {
-  if (frame.segment_count() == 0) {
-    return {};
-  }
-  ByteReader header(frame.segment(0));
-  header.ReadU16();  // service
-  header.ReadU16();  // opcode
-  const uint32_t len = header.ReadU32();
-  if (!header.Ok()) {
-    return {};
-  }
-  const size_t end = header.offset() + len;
-  if (frame.size() != end + kTraceTrailerBytes) {
-    return {};
-  }
-  const Buffer trailer = frame.SubChain(end, kTraceTrailerBytes).Gather();
-  ByteReader reader{trailer.span()};
-  if (reader.ReadU32() != kTraceTrailerMagic) {
-    return {};
-  }
-  obs::TraceContext context;
-  context.trace_id = reader.ReadU64();
-  context.parent_span = reader.ReadU64();
-  return reader.Ok() ? context : obs::TraceContext{};
+  return ScanRequestTrailers(frame).trace;
+}
+
+sim::SimTime ExtractRequestDeadline(const BufferChain& frame) {
+  return ScanRequestTrailers(frame).deadline;
 }
 
 Result<RpcResponse> ParseResponseFrame(const BufferChain& frame) {
@@ -170,6 +223,29 @@ RpcResponse RpcServer::Dispatch(const RpcRequest& request, obs::TraceContext con
   if (it == handlers_.end()) {
     counters_.Increment("rpc_unknown_service");
     return RpcResponse::Fail(NotFound("no such service"));
+  }
+  if (admission_ != nullptr && admission_clock_ != nullptr) {
+    // The synchronous server is never mid-request at dispatch (handlers run
+    // inline), so the pipeline is idle: busy_until == now. Queue-bound and
+    // deadline sheds still apply.
+    const sim::SimTime now = admission_clock_->Now();
+    const sim::AdmissionDecision decision = admission_->Decide(now, now, request.deadline);
+    if (decision != sim::AdmissionDecision::kAdmit) {
+      counters_.Increment(decision == sim::AdmissionDecision::kShedDeadline
+                              ? "rpc_shed_deadline"
+                              : "rpc_shed_queue");
+      // Saying no costs shell time only — no handler, no flash, no fabric.
+      admission_clock_->Advance(reject_cost_);
+      return RpcResponse::Fail(ResourceExhausted("server overloaded"));
+    }
+    counters_.Increment("rpc_admitted");
+    RpcResponse response;
+    {
+      obs::ScopedSpan dispatch(tracer_, clock_, obs::Subsystem::kRpc, "rpc.dispatch", context);
+      response = it->second(request.opcode, request.payload);
+    }
+    admission_->OnAdmitted(now, admission_clock_->Now());
+    return response;
   }
   // Stack-scoped: substrate spans the handler opens (nvme.*, pcie.*, ...)
   // nest under the dispatch span on the same per-node tracer.
@@ -216,7 +292,11 @@ Result<RpcResponse> RpcClient::Call(const RpcRequest& request) {
 Result<RpcResponse> RpcClient::CallWithDeadline(const RpcRequest& request,
                                                 sim::SimTime deadline) {
   obs::ScopedSpan call(tracer_, transport_->engine(), obs::Subsystem::kRpc, "rpc.call");
-  return CallLoop(request, deadline);
+  // Stamp the deadline into the request so a deadline-aware server (one
+  // with admission control) can shed work it cannot finish in time.
+  RpcRequest stamped = request;
+  stamped.deadline = deadline;
+  return CallLoop(stamped, deadline);
 }
 
 Result<RpcResponse> RpcClient::CallLoop(const RpcRequest& request, sim::SimTime deadline) {
@@ -245,9 +325,16 @@ Result<RpcResponse> RpcClient::CallLoop(const RpcRequest& request, sim::SimTime 
       break;
     }
     // Exponential backoff, truncated at the deadline: sleeping past it
-    // would only discover the timeout later.
+    // would only discover the timeout later. When the attempt itself burned
+    // the remaining budget the truncated sleep is zero-length, not a full
+    // backoff — the old code skipped truncation entirely once Now() reached
+    // the deadline and overslept by up to max_backoff.
+    if (deadline != kNoDeadline && engine->Now() >= deadline) {
+      counters_.Increment("rpc_deadline_exceeded");
+      return DeadlineExceeded("rpc deadline exceeded");
+    }
     sim::Duration sleep = backoff;
-    if (deadline != kNoDeadline && engine->Now() < deadline) {
+    if (deadline != kNoDeadline) {
       sleep = std::min<sim::Duration>(sleep, deadline - engine->Now());
     }
     {
@@ -256,9 +343,13 @@ Result<RpcResponse> RpcClient::CallLoop(const RpcRequest& request, sim::SimTime 
     }
     counters_.Increment("rpc_retries");
     counters_.Add("rpc_backoff_ns", sleep);
-    backoff = std::min<sim::Duration>(
-        policy_.max_backoff,
-        static_cast<sim::Duration>(static_cast<double>(backoff) * policy_.backoff_multiplier));
+    // Grow in floating point and clamp *before* converting back: a large
+    // multiplier can push the product past 2^64, and float-to-integer
+    // conversion of an out-of-range value is undefined behaviour.
+    const double grown = static_cast<double>(backoff) * policy_.backoff_multiplier;
+    backoff = grown >= static_cast<double>(policy_.max_backoff)
+                  ? policy_.max_backoff
+                  : static_cast<sim::Duration>(grown);
   }
   counters_.Increment("rpc_retries_exhausted");
   return last_error;
@@ -288,9 +379,12 @@ void ShardedRpcNode::CallAsync(ShardedRpcNode* peer, const RpcRequest& request,
   counters_.Increment("rpc_async_calls");
   BufferChain frame = SerializeRequestFrame(request);
   const sim::SimTime now = engine_->shard(shard_).Now();
-  // Latency from the pre-trailer size: the trace trailer is metadata, not
-  // modelled wire bytes, so traced and untraced runs are time-identical.
+  // Latency from the pre-trailer size: trailers are metadata, not modelled
+  // wire bytes, so traced/deadlined runs are time-identical to plain ones.
   const sim::Duration latency = WireLatency(frame.size(), *peer);
+  if (request.deadline != kNoDeadline) {
+    AppendDeadlineTrailer(frame, request.deadline);
+  }
   if (obs::kCompiledIn && tracer_ != nullptr && tracer_->enabled()) {
     const obs::SpanId call = tracer_->BeginAsync(obs::Subsystem::kRpc, "rpc.call", now);
     AppendTraceTrailer(frame, tracer_->ContextOf(call));
@@ -315,26 +409,49 @@ void ShardedRpcNode::ServeFrame(BufferChain frame, ShardedRpcNode* reply_to, Com
                                 ExtractRequestTraceContext(frame));
   }
   RpcResponse response;
+  sim::SimTime finish = arrival;
   Result<RpcRequest> request = ParseRequestFrame(frame);
+  bool admitted = true;
   if (!request.ok()) {
     response = RpcResponse::Fail(request.status());
   } else if (server_ == nullptr) {
     response = RpcResponse::Fail(InvalidArgument("node has no RPC server"));
   } else {
-    // Single-pipeline FIFO service: the node clock is the pipeline's
-    // availability horizon. An arrival while the pipeline is busy queues
-    // behind the in-flight work; an arrival while idle starts immediately.
-    if (node_clock_->Now() < arrival) {
-      node_clock_->AdvanceTo(arrival);
-    } else {
-      counters_.Add("rpc_async_queued_ns", node_clock_->Now() - arrival);
+    if (admission_ != nullptr) {
+      request->deadline = ExtractRequestDeadline(frame);
+      const sim::AdmissionDecision decision =
+          admission_->Decide(arrival, node_clock_->Now(), request->deadline);
+      admitted = decision == sim::AdmissionDecision::kAdmit;
+      if (!admitted) {
+        counters_.Increment(decision == sim::AdmissionDecision::kShedDeadline
+                                ? "rpc_shed_deadline"
+                                : "rpc_shed_queue");
+        response = RpcResponse::Fail(ResourceExhausted("server overloaded"));
+        // NIC-level bounce: the reject costs event time only — the node
+        // pipeline (and everything queued behind it) never sees the request.
+        finish = arrival + policy_.reject_cost;
+      } else {
+        counters_.Increment("rpc_admitted");
+      }
     }
-    response = server_->Dispatch(*request, tracer_ != nullptr ? tracer_->ContextOf(serve)
-                                                              : obs::TraceContext{});
+    if (admitted) {
+      // Single-pipeline FIFO service: the node clock is the pipeline's
+      // availability horizon. An arrival while the pipeline is busy queues
+      // behind the in-flight work; an arrival while idle starts immediately.
+      if (node_clock_->Now() < arrival) {
+        node_clock_->AdvanceTo(arrival);
+      } else {
+        counters_.Add("rpc_async_queued_ns", node_clock_->Now() - arrival);
+      }
+      response = server_->Dispatch(*request, tracer_ != nullptr ? tracer_->ContextOf(serve)
+                                                                : obs::TraceContext{});
+      finish = std::max(node_clock_->Now(), arrival);
+      if (admission_ != nullptr) {
+        admission_->OnAdmitted(arrival, finish);
+      }
+    }
   }
   counters_.Increment("rpc_async_served");
-  const sim::SimTime finish =
-      std::max(node_clock_ != nullptr ? node_clock_->Now() : arrival, arrival);
   if (tracer_ != nullptr) {
     tracer_->End(serve, finish);
   }
@@ -344,6 +461,12 @@ void ShardedRpcNode::ServeFrame(BufferChain frame, ShardedRpcNode* reply_to, Com
                 [wire = std::move(wire), done = std::move(done)]() mutable {
                   done(ParseResponseFrame(wire));
                 });
+}
+
+void ShardedRpcNode::SetOverloadPolicy(const RpcOverloadPolicy& policy) {
+  policy_ = policy;
+  admission_ =
+      policy.enabled ? std::make_unique<sim::AdmissionController>(policy.admission) : nullptr;
 }
 
 }  // namespace hyperion::dpu

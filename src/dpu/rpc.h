@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "src/common/buffer.h"
@@ -22,6 +23,7 @@
 #include "src/net/transport.h"
 #include "src/obs/trace.h"
 #include "src/sim/fault.h"
+#include "src/sim/flow.h"
 #include "src/sim/parallel.h"
 #include "src/sim/stats.h"
 #include "src/sim/time.h"
@@ -38,6 +40,9 @@ enum class ServiceId : uint16_t {
   kApp = 6,    // Willow-style user RPC: opcode = accelerator id, payload = ctx
 };
 
+// Absolute virtual-time deadline meaning "no deadline".
+inline constexpr sim::SimTime kNoDeadline = ~0ull;
+
 // Payloads are ref-counted Buffers: building a request around an existing
 // value, dispatching it, and returning a response shares the backing bytes
 // instead of copying them at every layer.
@@ -45,6 +50,11 @@ struct RpcRequest {
   ServiceId service = ServiceId::kControl;
   uint16_t opcode = 0;
   Buffer payload;
+  // Absolute virtual-time deadline (kNoDeadline = none). Metadata, not part
+  // of the golden wire layout: it rides request frames as a trailer (like
+  // the trace context) so deadline-aware servers can shed work that cannot
+  // finish in time. CallWithDeadline fills it in; plain Call leaves it off.
+  sim::SimTime deadline = kNoDeadline;
 };
 
 struct RpcResponse {
@@ -73,15 +83,21 @@ Result<RpcRequest> ParseRequestFrame(const BufferChain& frame);
 BufferChain SerializeResponseFrame(const RpcResponse& response);
 Result<RpcResponse> ParseResponseFrame(const BufferChain& frame);
 
-// Trace-context trailer (PR 4): [magic u32][trace_id u64][parent_span u64]
-// appended *after* the request frame's header+payload. Every frame parser
-// reads exactly header + payload-length bytes and ignores anything beyond,
-// so a trailered frame stays wire-compatible with untraced peers; senders
-// compute the modelled wire latency from the pre-trailer size, so tracing
-// never perturbs virtual time. Extract returns an empty context when no
-// well-formed trailer is present.
+// Metadata trailers appended *after* the request frame's header+payload.
+// Every frame parser reads exactly header + payload-length bytes and
+// ignores anything beyond, so a trailered frame stays wire-compatible with
+// peers that understand neither; senders compute the modelled wire latency
+// from the pre-trailer size, so trailers never perturb virtual time. Two
+// trailer kinds exist and may coexist in any order, each self-describing by
+// a leading magic:
+//   trace (PR 4):    [magic "TRC1" u32][trace_id u64][parent_span u64]
+//   deadline (PR 5): [magic "DLN1" u32][deadline u64]
+// Extractors return the empty context / kNoDeadline when no well-formed
+// trailer of that kind is present.
 void AppendTraceTrailer(BufferChain& frame, obs::TraceContext context);
+void AppendDeadlineTrailer(BufferChain& frame, sim::SimTime deadline);
 obs::TraceContext ExtractRequestTraceContext(const BufferChain& frame);
+sim::SimTime ExtractRequestDeadline(const BufferChain& frame);
 
 // Server-side dispatch table. Handlers run on the DPU and advance the
 // shared virtual clock by whatever work they do.
@@ -104,6 +120,19 @@ class RpcServer {
     clock_ = clock;
   }
 
+  // Deadline-aware admission on the synchronous dispatch path (null
+  // detaches): a request whose deadline cannot be met — already past, or
+  // unreachable given the admission controller's service estimate — is
+  // fast-rejected with kResourceExhausted before the handler runs, so a
+  // doomed request costs no flash or fabric time. `clock` is the engine the
+  // handlers advance; `reject_cost` is the shell-level cost of saying no.
+  void SetAdmission(sim::AdmissionController* admission, sim::Engine* clock,
+                    sim::Duration reject_cost = 200) {
+    admission_ = admission;
+    admission_clock_ = clock;
+    reject_cost_ = reject_cost;
+  }
+
   const sim::Counters& counters() const { return counters_; }
 
  private:
@@ -111,6 +140,9 @@ class RpcServer {
   sim::Counters counters_;
   obs::Tracer* tracer_ = nullptr;
   sim::Engine* clock_ = nullptr;
+  sim::AdmissionController* admission_ = nullptr;
+  sim::Engine* admission_clock_ = nullptr;
+  sim::Duration reject_cost_ = 200;
 };
 
 // Retry policy for client calls: transient failures (lost or corrupted
@@ -123,9 +155,6 @@ struct RetryPolicy {
   double backoff_multiplier = 2.0;
   sim::Duration max_backoff = 10 * sim::kMillisecond;
 };
-
-// Absolute virtual-time deadline meaning "no deadline".
-inline constexpr sim::SimTime kNoDeadline = ~0ull;
 
 // Client stub: serializes, pays the transport both ways, and invokes the
 // server's dispatch at the far end. Recovery: transient transport errors
@@ -200,6 +229,19 @@ class RpcClient {
 // count; its zero-byte floor is declared to the parallel engine as the
 // conservative lookahead. The async path models a hardware-offloaded
 // transport (RDMA-like): no retries, no software overhead, no loss.
+// Overload policy for a serving node (PR 5). With `enabled`, every arrival
+// passes deadline-aware bounded-queue admission *before* it is allowed to
+// occupy the node's pipeline: a shed request is answered kResourceExhausted
+// after only `reject_cost` of shell time — the node clock (and therefore
+// the flash, fabric, and every queued request behind them) never sees it.
+struct RpcOverloadPolicy {
+  bool enabled = false;
+  sim::AdmissionParams admission;
+  // NIC/shell-level cost of the fast-reject path, charged in event time on
+  // the shard engine, not on the node pipeline.
+  sim::Duration reject_cost = 200;
+};
+
 class ShardedRpcNode {
  public:
   using Completion = std::function<void(Result<RpcResponse>)>;
@@ -233,8 +275,16 @@ class ShardedRpcNode {
   void SetTracer(obs::Tracer* tracer) { tracer_ = tracer; }
   obs::Tracer* tracer() { return tracer_; }
 
+  // Installs (or, with enabled=false, removes) the serving-side overload
+  // policy. Untouched nodes behave exactly as before PR 5.
+  void SetOverloadPolicy(const RpcOverloadPolicy& policy);
+  // The admission controller behind the policy (null when disabled);
+  // exposes shed/admit counters and the pending-depth histogram.
+  sim::AdmissionController* admission() { return admission_.get(); }
+
   // rpc_async_calls / rpc_async_served / rpc_async_queued_ns (time requests
-  // spent queued behind the node's busy pipeline).
+  // spent queued behind the node's busy pipeline); with an overload policy
+  // also rpc_admitted / rpc_shed_queue / rpc_shed_deadline.
   const sim::Counters& counters() const { return counters_; }
 
  private:
@@ -249,6 +299,8 @@ class ShardedRpcNode {
   net::FabricParams wire_;
   double link_gbps_;
   obs::Tracer* tracer_ = nullptr;
+  RpcOverloadPolicy policy_;
+  std::unique_ptr<sim::AdmissionController> admission_;
   sim::Counters counters_;
 };
 

@@ -47,6 +47,7 @@ Result<SlotScheduler::Placement> SlotScheduler::Acquire(const Bitstream& bitstre
       evicting = candidate != kNoTenant && fabric_->IsLoaded(candidate);
     }
     if (candidate == kNoTenant) {
+      counters_.Increment("fpga_acquire_rejected");
       return ResourceExhausted("all regions pinned or failed");
     }
     tried[candidate] = 1;

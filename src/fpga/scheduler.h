@@ -50,6 +50,16 @@ class SlotScheduler {
   // Times an Acquire moved on after a candidate slot failed under it.
   uint64_t migrations() const { return migrations_; }
 
+  // Regions currently unpinned — the scheduler-level credit pool a caller
+  // can consult before Acquire instead of eating the rejection.
+  uint32_t free_regions() const {
+    uint32_t free = 0;
+    for (const auto& region : state_) {
+      free += region.pins == 0 ? 1 : 0;
+    }
+    return free;
+  }
+
   const sim::Counters& counters() const { return counters_; }
 
  private:

@@ -1,0 +1,166 @@
+#include "src/load/harness.h"
+
+#include <algorithm>
+
+#include "src/common/bytes.h"
+#include "src/common/check.h"
+#include "src/obs/export.h"
+
+namespace hyperion::load {
+
+namespace {
+
+dpu::HyperionConfig ServerConfig(const OverloadClusterOptions& options) {
+  dpu::HyperionConfig config;
+  config.nvme_devices = 1;
+  config.lbas_per_device = options.lbas_per_device;
+  config.dram_bytes = options.dram_bytes;
+  config.hbm_bytes = options.hbm_bytes;
+  config.link_gbps = options.fabric.default_link_gbps;
+  return config;
+}
+
+}  // namespace
+
+OverloadCluster::ServerNode::ServerNode(OverloadCluster* cluster)
+    : fabric(&clock, cluster->options_.fabric),
+      dpu(&clock, &fabric, ServerConfig(cluster->options_)) {
+  CHECK(dpu.Boot().ok());
+  auto installed = dpu::HyperionServices::Install(&dpu, storage::KvBackend::kBTree);
+  CHECK(installed.ok());
+  services = std::move(*installed);
+  endpoint = std::make_unique<dpu::ShardedRpcNode>(
+      cluster->engine_.get(), cluster->ShardOf(0), &dpu.rpc(), &clock,
+      cluster->options_.fabric, cluster->options_.fabric.default_link_gbps);
+  endpoint->SetOverloadPolicy(cluster->options_.policy);
+}
+
+OverloadCluster::ClientNode::ClientNode(OverloadCluster* cluster, uint32_t id) : id(id) {
+  endpoint = std::make_unique<dpu::ShardedRpcNode>(
+      cluster->engine_.get(), cluster->ShardOf(id), /*server=*/nullptr, &clock,
+      cluster->options_.fabric, cluster->options_.fabric.default_link_gbps);
+}
+
+OverloadCluster::OverloadCluster(const OverloadClusterOptions& options) : options_(options) {
+  CHECK_GT(options_.num_clients, 0u);
+  CHECK_GT(options_.requests_per_client, 0u);
+  CHECK_GT(options_.read_blocks, 0u);
+  const uint32_t nodes = num_nodes();
+  if (options_.num_shards == 0 || options_.num_shards > nodes) {
+    options_.num_shards = nodes;
+  }
+
+  sim::ParallelEngineOptions popts;
+  popts.num_shards = options_.num_shards;
+  popts.lookahead_floor = options_.lookahead_floor;
+  popts.use_threads = options_.use_threads;
+  engine_ = std::make_unique<sim::ParallelEngine>(popts);
+
+  // Id-ordered construction pins the cross-shard source order: server is
+  // node 0, clients 1..N.
+  server_ = std::make_unique<ServerNode>(this);
+  clients_.reserve(options_.num_clients);
+  for (uint32_t id = 1; id <= options_.num_clients; ++id) {
+    clients_.push_back(std::make_unique<ClientNode>(this, id));
+  }
+}
+
+OverloadCluster::~OverloadCluster() = default;
+
+uint32_t OverloadCluster::ShardOf(uint32_t node) const {
+  return static_cast<uint32_t>(uint64_t{node} * options_.num_shards / num_nodes());
+}
+
+OverloadResult OverloadCluster::Run() {
+  CHECK(!ran_);
+  ran_ = true;
+  // Clients start once the server has drained boot from its pipeline (the
+  // base is layout-invariant: boot never touches shard engines).
+  const sim::SimTime start_base = server_->clock.Now() + 1000;
+  const uint64_t node_stride =
+      7ull * (options_.open_loop ? 1 : std::max<uint32_t>(1, options_.closed_clients));
+  const uint64_t max_slba = options_.lbas_per_device - options_.read_blocks;
+  for (auto& owned : clients_) {
+    ClientNode* client = owned.get();
+    LoadGenOptions gopts;
+    gopts.open_loop = options_.open_loop;
+    gopts.interarrival = options_.interarrival;
+    gopts.clients = options_.closed_clients;
+    gopts.think_time = options_.think_time;
+    gopts.total_requests = options_.requests_per_client;
+    gopts.deadline = options_.deadline;
+    gopts.start = start_base + (client->id - 1) * node_stride;
+    client->gen = std::make_unique<LoadGen>(
+        &engine_->shard(ShardOf(client->id)), gopts,
+        [this, client, max_slba](uint64_t seq, sim::SimTime deadline, LoadGen::DoneFn done) {
+          dpu::RpcRequest request;
+          request.service = dpu::ServiceId::kBlock;
+          request.opcode = dpu::BlockOp::kRead;
+          ByteWriter payload(16);
+          payload.PutU32(1);  // nsid
+          payload.PutU64((seq * 97 + uint64_t{client->id} * 7919) % max_slba);
+          payload.PutU32(options_.read_blocks);
+          request.payload = Buffer(payload.Take());
+          request.deadline = deadline;  // kNever == kNoDeadline: none
+          client->endpoint->CallAsync(
+              server_->endpoint.get(), request,
+              [done = std::move(done)](Result<dpu::RpcResponse> result) {
+                if (!result.ok()) {
+                  done(Outcome::kFailed);
+                  return;
+                }
+                if (result->status.ok()) {
+                  done(Outcome::kOk);
+                  return;
+                }
+                done(result->status.code() == StatusCode::kResourceExhausted
+                         ? Outcome::kRejected
+                         : Outcome::kFailed);
+              });
+        });
+    client->gen->Start();
+  }
+  engine_->Run();
+
+  OverloadResult result;
+  for (auto& client : clients_) {
+    const LoadStats& stats = client->gen->stats();
+    result.issued += stats.issued;
+    result.ok += stats.ok;
+    result.rejected += stats.rejected;
+    result.failed += stats.failed;
+    result.deadline_missed += stats.deadline_missed;
+    if (stats.last_completion > start_base) {
+      result.makespan_ns = std::max(result.makespan_ns, stats.last_completion - start_base);
+    }
+    merged_latency_.Merge(client->gen->latency());
+  }
+  const sim::Counters& server = server_->endpoint->counters();
+  result.served = server.Get("rpc_async_served");
+  result.admitted = server.Get("rpc_admitted");
+  result.shed_queue = server.Get("rpc_shed_queue");
+  result.shed_deadline = server.Get("rpc_shed_deadline");
+  result.messages = engine_->stats().messages;
+  result.server_clock_ns = server_->clock.Now();
+  result.latency_count = merged_latency_.count();
+  result.latency_p50_ns = merged_latency_.P50();
+  result.latency_p99_ns = merged_latency_.P99();
+  result.latency_max_ns = merged_latency_.max();
+  return result;
+}
+
+void OverloadCluster::SnapshotMetrics(obs::MetricsRegistry* registry) const {
+  registry->ImportCounters(obs::Subsystem::kRpc, server_->endpoint->counters());
+  registry->ImportCounters(obs::Subsystem::kRpc, server_->dpu.rpc().counters());
+  registry->ImportCounters(obs::Subsystem::kNvme, server_->dpu.nvme().counters());
+  if (const sim::AdmissionController* admission = server_->endpoint->admission()) {
+    registry->ImportCounters(obs::Subsystem::kRpc, admission->counters());
+    registry->Record(obs::Subsystem::kRpc, "admission_depth_p99", admission->depth().P99());
+  }
+  for (const auto& client : clients_) {
+    registry->ImportCounters(obs::Subsystem::kRpc, client->endpoint->counters());
+  }
+  obs::ImportParallelStats(registry, engine_->stats());
+}
+
+}  // namespace hyperion::load

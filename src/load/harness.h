@@ -1,0 +1,133 @@
+// Sharded overload harness: open-loop clients vs one Hyperion server (PR 5).
+//
+// OverloadCluster is the determinism-grade E13 experiment: node 0 is a full
+// Hyperion DPU serving NVMe-oF-style block reads, nodes 1..N are client
+// nodes (endpoint-only, no server) each running a LoadGen that issues
+// deadline-stamped BlockOp::kRead RPCs across the sharded fabric. The
+// server's RpcOverloadPolicy is the with/without-admission-control axis:
+//
+//   OFF  arrivals queue on the server's node clock without bound; latency
+//        grows with offered load (the open-loop hockey stick).
+//   ON   the bounded pending queue + deadline shedding answer doomed
+//        requests with kResourceExhausted after reject_cost only, keeping
+//        admitted-request latency bounded and goodput at the plateau.
+//
+// Layout invariance is inherited from the PDES layer exactly as KvCluster:
+// nodes share no mutable state, construction order pins source order, and
+// every client start time is distinct — OverloadResult is bit-identical
+// across num_shards x threads (tests/load_test.cc pins {1, 2, 4} x on/off).
+
+#ifndef HYPERION_SRC_LOAD_HARNESS_H_
+#define HYPERION_SRC_LOAD_HARNESS_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/dpu/hyperion.h"
+#include "src/dpu/rpc.h"
+#include "src/dpu/services.h"
+#include "src/load/loadgen.h"
+#include "src/obs/metrics.h"
+#include "src/sim/parallel.h"
+#include "src/sim/stats.h"
+
+namespace hyperion::load {
+
+struct OverloadClusterOptions {
+  uint32_t num_clients = 3;  // client nodes; node 0 is the server
+  // 0 defaults to one shard per node; nodes map to shards in contiguous
+  // blocks (same scheme as KvCluster).
+  uint32_t num_shards = 0;
+  bool use_threads = true;
+  sim::Duration lookahead_floor = 100;
+  net::FabricParams fabric;
+  // Per-client arrival process (LoadGen semantics).
+  bool open_loop = true;
+  uint32_t requests_per_client = 64;
+  sim::Duration interarrival = 20 * sim::kMicrosecond;
+  uint32_t closed_clients = 4;  // closed loop: concurrency per client node
+  sim::Duration think_time = 0;
+  sim::Duration deadline = 1 * sim::kMillisecond;  // relative; 0 = none
+  uint32_t read_blocks = 1;
+  // Server-side overload policy (the experiment's independent variable).
+  dpu::RpcOverloadPolicy policy;
+  // Trimmed server DPU (communication structure, not capacity).
+  uint64_t lbas_per_device = 32768;
+  uint64_t dram_bytes = 64ull << 20;
+  uint64_t hbm_bytes = 16ull << 20;
+};
+
+// Deterministic run snapshot; equality across shard layouts is the
+// regression oracle.
+struct OverloadResult {
+  uint64_t issued = 0;
+  uint64_t ok = 0;
+  uint64_t rejected = 0;
+  uint64_t failed = 0;
+  uint64_t deadline_missed = 0;
+  // Server-side accounting.
+  uint64_t served = 0;
+  uint64_t admitted = 0;
+  uint64_t shed_queue = 0;
+  uint64_t shed_deadline = 0;
+  uint64_t messages = 0;
+  sim::SimTime server_clock_ns = 0;
+  sim::SimTime makespan_ns = 0;
+  // Client-observed latency of in-deadline successes, merged across nodes.
+  uint64_t latency_count = 0;
+  uint64_t latency_p50_ns = 0;
+  uint64_t latency_p99_ns = 0;
+  uint64_t latency_max_ns = 0;
+
+  bool operator==(const OverloadResult&) const = default;
+};
+
+class OverloadCluster {
+ public:
+  explicit OverloadCluster(const OverloadClusterOptions& options);
+  OverloadCluster(const OverloadCluster&) = delete;
+  OverloadCluster& operator=(const OverloadCluster&) = delete;
+  ~OverloadCluster();
+
+  uint32_t num_nodes() const { return options_.num_clients + 1; }
+  uint32_t ShardOf(uint32_t node) const;
+
+  // Runs every client to completion and snapshots the result. One-shot.
+  OverloadResult Run();
+
+  dpu::ShardedRpcNode& server_endpoint() { return *server_->endpoint; }
+  const sim::Histogram& merged_latency() const { return merged_latency_; }
+
+  // Client + server counters and the parallel engine's tallies, under the
+  // PR 4 registry (valid after Run()).
+  void SnapshotMetrics(obs::MetricsRegistry* registry) const;
+
+ private:
+  struct ServerNode {
+    explicit ServerNode(OverloadCluster* cluster);
+    sim::Engine clock;  // private cost engine (never holds events)
+    net::Fabric fabric;
+    dpu::Hyperion dpu;
+    std::unique_ptr<dpu::HyperionServices> services;
+    std::unique_ptr<dpu::ShardedRpcNode> endpoint;
+  };
+  struct ClientNode {
+    ClientNode(OverloadCluster* cluster, uint32_t id);
+    uint32_t id;
+    sim::Engine clock;  // endpoint node clock (client side serves nothing)
+    std::unique_ptr<dpu::ShardedRpcNode> endpoint;
+    std::unique_ptr<LoadGen> gen;
+  };
+
+  OverloadClusterOptions options_;
+  std::unique_ptr<sim::ParallelEngine> engine_;
+  std::unique_ptr<ServerNode> server_;
+  std::vector<std::unique_ptr<ClientNode>> clients_;
+  sim::Histogram merged_latency_;
+  bool ran_ = false;
+};
+
+}  // namespace hyperion::load
+
+#endif  // HYPERION_SRC_LOAD_HARNESS_H_

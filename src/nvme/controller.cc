@@ -21,6 +21,7 @@ Result<uint64_t> Controller::NamespaceCapacity(uint32_t nsid) const {
 uint16_t Controller::CreateQueuePair(uint16_t entries) {
   queues_.push_back(std::make_unique<QueuePair>(static_cast<uint16_t>(queues_.size() + 1),
                                                 entries));
+  staged_.emplace_back();
   return static_cast<uint16_t>(queues_.size());
 }
 
@@ -139,16 +140,75 @@ Completion Controller::Execute(const Command& cmd) {
 uint32_t Controller::ProcessSubmissions() {
   uint32_t executed = 0;
   for (auto& qp : queues_) {
-    while (auto cmd = qp->sq.Pop()) {
+    while (!qp->sq.Empty()) {
+      // A full CQ stalls the controller, exactly as in hardware: the SQE
+      // stays queued (completions are never dropped) until the host reaps.
+      // Checking before the Pop keeps the command in the SQ — popping first
+      // and failing the Post would lose it.
+      if (qp->cq.Full()) {
+        counters_.Add("nvme_cq_stalls", 1);
+        break;
+      }
+      auto cmd = qp->sq.Pop();
       Completion cqe = Execute(*cmd);
       cqe.sq_id = qp->sq.id();
-      // A full CQ stalls the controller in real hardware; in the model we
-      // require consumers to reap promptly and treat overflow as fatal.
       CHECK_OK(qp->cq.Post(std::move(cqe)));
       ++executed;
     }
   }
   return executed;
+}
+
+Status Controller::SubmitCoalesced(uint16_t qid, Command cmd) {
+  if (qid == 0 || qid > queues_.size()) {
+    return InvalidArgument("bad qid");
+  }
+  auto& staged = staged_[qid - 1];
+  const uint16_t free = queues_[qid - 1]->sq.FreeSlots();
+  if (staged.size() >= free) {
+    return ResourceExhausted("submission queue full");
+  }
+  staged.push_back(std::move(cmd));
+  // Ring when the batch bound is reached or the SQ has no room to stage
+  // more; otherwise leave it to the caller's flush policy (max-delay timer
+  // or explicit RingDoorbell).
+  if (staged.size() >= doorbell_batch_ || staged.size() == free) {
+    return RingDoorbell(qid);
+  }
+  return Status::Ok();
+}
+
+Status Controller::RingDoorbell(uint16_t qid) {
+  if (qid == 0 || qid > queues_.size()) {
+    return InvalidArgument("bad qid");
+  }
+  auto& staged = staged_[qid - 1];
+  if (staged.empty()) {
+    return Status::Ok();
+  }
+  // One MMIO doorbell write publishes the whole batch: the per-ring cost is
+  // paid once, however many SQEs ride it.
+  counters_.Add("nvme_doorbells", 1);
+  counters_.Add("nvme_doorbell_sqes", staged.size());
+  engine_->Advance(doorbell_cost_);
+  auto& sq = queues_[qid - 1]->sq;
+  size_t pushed = 0;
+  for (; pushed < staged.size(); ++pushed) {
+    Status status = sq.Push(std::move(staged[pushed]));
+    if (!status.ok()) {
+      staged.erase(staged.begin(), staged.begin() + static_cast<ptrdiff_t>(pushed));
+      return status;
+    }
+  }
+  staged.clear();
+  return Status::Ok();
+}
+
+size_t Controller::StagedCount(uint16_t qid) const {
+  if (qid == 0 || qid > staged_.size()) {
+    return 0;
+  }
+  return staged_[qid - 1].size();
 }
 
 std::optional<Completion> Controller::Reap(uint16_t qid) {

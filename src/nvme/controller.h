@@ -9,6 +9,7 @@
 #ifndef HYPERION_SRC_NVME_CONTROLLER_H_
 #define HYPERION_SRC_NVME_CONTROLLER_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -51,6 +52,27 @@ class Controller {
 
   // Consumer: reap one completion from queue `qid`.
   std::optional<Completion> Reap(uint16_t qid);
+
+  // -- Submission batching (doorbell coalescing, PR 5) ----------------------
+  // SQEs staged via SubmitCoalesced accumulate host-side; one doorbell ring
+  // publishes up to `max_batch` of them and charges the MMIO doorbell cost
+  // once, amortizing it across the batch. With the default max_batch of 1
+  // every staged command rings immediately (no coalescing).
+
+  void SetDoorbellCoalescing(uint16_t max_batch) {
+    doorbell_batch_ = std::max<uint16_t>(1, max_batch);
+  }
+  void SetDoorbellCost(sim::Duration cost) { doorbell_cost_ = cost; }
+
+  // Stages a command for `qid`; rings automatically when the stage reaches
+  // the batch bound or the SQ cannot hold another staged entry. Returns
+  // ResourceExhausted (nothing staged) when SQ free slots are exhausted by
+  // the entries already staged — the backpressure signal callers propagate.
+  Status SubmitCoalesced(uint16_t qid, Command cmd);
+  // Publishes whatever is staged for `qid` (no-op when empty). Callers
+  // enforce their own max-delay bound by invoking this from a timer.
+  Status RingDoorbell(uint16_t qid);
+  size_t StagedCount(uint16_t qid) const;
 
   // -- Synchronous convenience facade ---------------------------------------
   // Issues through an internal queue pair and advances virtual time by the
@@ -99,6 +121,9 @@ class Controller {
   sim::Engine* engine_;
   std::vector<std::unique_ptr<FlashDevice>> namespaces_;
   std::vector<std::unique_ptr<QueuePair>> queues_;
+  std::vector<std::vector<Command>> staged_;  // parallel to queues_
+  uint16_t doorbell_batch_ = 1;
+  sim::Duration doorbell_cost_ = 500;  // one MMIO write, ns
   uint16_t next_cid_ = 1;
   sim::FaultInjector* injector_ = nullptr;
   obs::Tracer* tracer_ = nullptr;

@@ -26,6 +26,9 @@ class SubmissionQueue {
   bool Full() const;
   bool Empty() const { return head_ == tail_; }
   uint16_t Depth() const;
+  // Usable capacity: one slot is sacrificed to tell full from empty.
+  uint16_t Capacity() const { return static_cast<uint16_t>(entries_ - 1); }
+  uint16_t FreeSlots() const { return static_cast<uint16_t>(Capacity() - Depth()); }
 
   // Producer side: enqueue + ring the doorbell.
   Status Push(Command cmd);
@@ -47,6 +50,10 @@ class CompletionQueue {
 
   bool Full() const;
   bool Empty() const { return head_ == tail_; }
+  uint16_t Depth() const {
+    return static_cast<uint16_t>((tail_ + entries_ - head_) % entries_);
+  }
+  uint16_t Capacity() const { return static_cast<uint16_t>(entries_ - 1); }
 
   Status Post(Completion cqe);
   std::optional<Completion> Reap();

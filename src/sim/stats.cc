@@ -77,6 +77,14 @@ uint64_t Histogram::Percentile(double q) const {
   }
   CHECK_GE(q, 0.0);
   CHECK_LE(q, 1.0);
+  // The extremes are tracked exactly; answering them from the buckets would
+  // return a bucket upper bound (q=0 of {1000, 2000} used to claim ~1023).
+  if (q <= 0.0) {
+    return min_;
+  }
+  if (q >= 1.0) {
+    return max_;
+  }
   const uint64_t target =
       std::max<uint64_t>(1, static_cast<uint64_t>(q * static_cast<double>(count_) + 0.5));
   uint64_t seen = 0;

@@ -392,6 +392,57 @@ TEST_F(RpcFaultTest, PersistentLossHitsDeadlineNotAHang) {
   EXPECT_LT(engine_.Now(), deadline + 1 * sim::kMillisecond);
 }
 
+TEST_F(RpcFaultTest, DeadlineRacingIntoBackoffWindowNeverOversleeps) {
+  // Regression: when an attempt itself burned the remaining budget, the old
+  // backoff path skipped deadline truncation entirely (it only truncated
+  // while Now() < deadline) and slept the *full* backoff — with a large
+  // policy, overshooting the deadline by seconds of virtual time.
+  FaultPlan plan;
+  plan.Always(FaultSite::kNetLoss);
+  sim::FaultInjector injector(&engine_, plan);
+  dpu::RetryPolicy policy;
+  policy.max_attempts = 1u << 20;
+  policy.initial_backoff = 5 * sim::kSecond;  // absurd: any full sleep is visible
+  policy.max_backoff = 50 * sim::kSecond;
+  MakeClient(&injector, policy);
+
+  // 1us deadline vs 1.5us of sender software overhead: the first attempt
+  // alone crosses the deadline, so the pre-backoff check sees Now() past it.
+  const sim::SimTime deadline = engine_.Now() + 1 * sim::kMicrosecond;
+  auto response = rpc_client_->CallWithDeadline(PutRequest(10, 64), deadline);
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(rpc_client_->counters().Get("rpc_deadline_exceeded"), 1u);
+  EXPECT_EQ(rpc_client_->counters().Get("rpc_backoff_ns"), 0u);  // no sleep at all
+  // The clock stops at the deadline plus at most one attempt's wire time —
+  // never a backoff sleep past it.
+  EXPECT_GE(engine_.Now(), deadline);
+  EXPECT_LT(engine_.Now(), deadline + 1 * sim::kMillisecond);
+}
+
+TEST_F(RpcFaultTest, BackoffMultiplierOverflowClampsToMaxBackoff) {
+  // Regression: the backoff update multiplied in uint64 space; a large
+  // multiplier pushed the product past 2^64 (and float->integer conversion
+  // of an out-of-range value is UB). The growth must clamp to max_backoff.
+  FaultPlan plan;
+  plan.Always(FaultSite::kNetLoss, /*count=*/2);
+  sim::FaultInjector injector(&engine_, plan);
+  dpu::RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.initial_backoff = 50 * sim::kMicrosecond;
+  policy.backoff_multiplier = 1e18;  // one growth step leaves uint64 range
+  policy.max_backoff = 200 * sim::kMicrosecond;
+  MakeClient(&injector, policy);
+
+  auto response = rpc_client_->Call(PutRequest(11, 64));
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_TRUE(response->status.ok());
+  EXPECT_EQ(rpc_client_->counters().Get("rpc_retries"), 2u);
+  // First sleep is the initial 50us; the grown value clamps to 200us.
+  EXPECT_EQ(rpc_client_->counters().Get("rpc_backoff_ns"),
+            250 * static_cast<uint64_t>(sim::kMicrosecond));
+}
+
 TEST_F(RpcFaultTest, ExhaustedAttemptsSurfaceLastError) {
   FaultPlan plan;
   plan.Always(FaultSite::kNetLoss);

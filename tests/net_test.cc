@@ -74,6 +74,31 @@ TEST_F(NetTest, AllTransportsCompleteLosslessRoundTrip) {
   }
 }
 
+TEST_F(NetTest, FrameBatchAmortizesPerMessageOverhead) {
+  HostId a = fabric_.AddHost("a");
+  HostId b = fabric_.AddHost("b");
+  auto tcp = MakeTransport(TransportKind::kTcp, &fabric_, &rng_);
+  std::vector<BufferChain> frames;
+  sim::Duration individual = 0;
+  for (int i = 0; i < 8; ++i) {
+    frames.emplace_back(Buffer(Bytes(512)));
+    auto sent = tcp->SendFrame(a, b, frames.back());
+    ASSERT_TRUE(sent.ok());
+    individual += *sent;
+  }
+  // One batched message carries the same bytes but pays the header and
+  // the per-message software overhead at each end exactly once.
+  auto batched = tcp->SendFrameBatch(a, b, frames);
+  ASSERT_TRUE(batched.ok());
+  EXPECT_LT(*batched, individual);
+  // An empty batch touches neither the wire nor the clock.
+  const auto before = engine_.Now();
+  auto empty = tcp->SendFrameBatch(a, b, {});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(*empty, 0u);
+  EXPECT_EQ(engine_.Now(), before);
+}
+
 TEST_F(NetTest, UdpLosesDatagramsAtConfiguredRate) {
   HostId a = fabric_.AddHost("a");
   HostId b = fabric_.AddHost("b");

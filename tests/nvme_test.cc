@@ -122,6 +122,61 @@ TEST(QueueTest, WrapAround) {
   }
 }
 
+TEST(QueueTest, CompletionQueueWrapAroundAtBoundary) {
+  // Cross the entries_ boundary repeatedly: head/tail arithmetic must stay
+  // consistent through many wraps, with no completion lost or reordered.
+  CompletionQueue cq(4);  // capacity entries-1 = 3
+  uint16_t next_post = 0;
+  uint16_t next_reap = 0;
+  for (int round = 0; round < 16; ++round) {
+    while (!cq.Full()) {
+      Completion cqe;
+      cqe.cid = next_post++;
+      ASSERT_TRUE(cq.Post(std::move(cqe)).ok());
+    }
+    EXPECT_EQ(cq.Depth(), cq.Capacity());
+    EXPECT_EQ(cq.Post(Completion{}).code(), StatusCode::kResourceExhausted);
+    // Drain partially so the pointers walk the ring at varying offsets.
+    const int reaps = (round % 3) + 1;
+    for (int i = 0; i < reaps; ++i) {
+      auto cqe = cq.Reap();
+      ASSERT_TRUE(cqe.has_value());
+      EXPECT_EQ(cqe->cid, next_reap++);
+    }
+  }
+  while (auto cqe = cq.Reap()) {
+    EXPECT_EQ(cqe->cid, next_reap++);
+  }
+  EXPECT_EQ(next_reap, next_post);
+  EXPECT_TRUE(cq.Empty());
+}
+
+TEST(QueueTest, MinimumDepthQueues) {
+  // entries=2 is the smallest legal ring: one usable slot. The full/empty
+  // distinction must survive at this degenerate size.
+  SubmissionQueue sq(1, 2);
+  EXPECT_EQ(sq.Capacity(), 1u);
+  ASSERT_TRUE(sq.Push(Command{}).ok());
+  EXPECT_TRUE(sq.Full());
+  EXPECT_EQ(sq.Push(Command{}).code(), StatusCode::kResourceExhausted);
+  ASSERT_TRUE(sq.Pop().has_value());
+  EXPECT_TRUE(sq.Empty());
+  ASSERT_TRUE(sq.Push(Command{}).ok());
+
+  CompletionQueue cq(2);
+  EXPECT_EQ(cq.Capacity(), 1u);
+  for (int round = 0; round < 5; ++round) {
+    Completion cqe;
+    cqe.cid = static_cast<uint16_t>(round);
+    ASSERT_TRUE(cq.Post(std::move(cqe)).ok());
+    EXPECT_TRUE(cq.Full());
+    EXPECT_EQ(cq.Post(Completion{}).code(), StatusCode::kResourceExhausted);
+    auto reaped = cq.Reap();
+    ASSERT_TRUE(reaped.has_value());
+    EXPECT_EQ(reaped->cid, round);
+  }
+}
+
 TEST(QueueTest, CompletionQueueRoundTrip) {
   CompletionQueue cq(8);
   Completion cqe;
@@ -244,6 +299,116 @@ TEST_F(ControllerTest, CountersTrackIo) {
   EXPECT_EQ(ctrl_.counters().Get("nvme_reads"), 1u);
   EXPECT_EQ(ctrl_.counters().Get("nvme_flushes"), 1u);
   EXPECT_EQ(ctrl_.counters().Get("nvme_read_bytes"), static_cast<uint64_t>(kLbaSize));
+}
+
+TEST_F(ControllerTest, FullCompletionQueueStallsInsteadOfLosingCompletions) {
+  // Regression: a full CQ used to crash ProcessSubmissions (the CHECK_OK on
+  // Post fired). The controller must instead stall — leave the command in
+  // the SQ, count the stall, and resume once the host reaps.
+  const uint32_t ns = ctrl_.AddNamespace(64);
+  const uint16_t qid = ctrl_.CreateQueuePair(4);  // SQ and CQ capacity 3
+  auto submit_read = [&](uint16_t cid) {
+    Command read;
+    read.cid = cid;
+    read.opcode = Opcode::kRead;
+    read.nsid = ns;
+    read.slba = cid % 32;
+    read.nlb = 0;
+    ASSERT_TRUE(ctrl_.Submit(qid, std::move(read)).ok());
+  };
+  for (uint16_t cid = 0; cid < 3; ++cid) {
+    submit_read(cid);
+  }
+  EXPECT_EQ(ctrl_.ProcessSubmissions(), 3u);  // CQ now full, unreaped
+  for (uint16_t cid = 3; cid < 6; ++cid) {
+    submit_read(cid);
+  }
+  // No CQ space: nothing executes, nothing is lost, the stall is counted.
+  EXPECT_EQ(ctrl_.ProcessSubmissions(), 0u);
+  EXPECT_GE(ctrl_.counters().Get("nvme_cq_stalls"), 1u);
+  // Reap one slot; exactly one stalled command can now complete.
+  ASSERT_TRUE(ctrl_.Reap(qid).has_value());
+  EXPECT_EQ(ctrl_.ProcessSubmissions(), 1u);
+  // Drain fully: every cid arrives exactly once, in submission order.
+  uint16_t expected = 1;
+  for (int spins = 0; expected < 6 && spins < 8; ++spins) {
+    while (auto cqe = ctrl_.Reap(qid)) {
+      EXPECT_EQ(cqe->cid, expected++);
+      EXPECT_EQ(cqe->status, CmdStatus::kSuccess);
+    }
+    ctrl_.ProcessSubmissions();
+  }
+  EXPECT_EQ(expected, 6);
+  EXPECT_FALSE(ctrl_.Reap(qid).has_value());
+}
+
+TEST_F(ControllerTest, DoorbellCoalescingStagesUntilBatchBound) {
+  const uint32_t ns = ctrl_.AddNamespace(64);
+  const uint16_t qid = ctrl_.CreateQueuePair(16);
+  ctrl_.SetDoorbellCoalescing(4);
+  ctrl_.SetDoorbellCost(500);
+  auto read_cmd = [&](uint16_t cid) {
+    Command read;
+    read.cid = cid;
+    read.opcode = Opcode::kRead;
+    read.nsid = ns;
+    read.slba = cid;
+    read.nlb = 0;
+    return read;
+  };
+  const auto before = engine_.Now();
+  for (uint16_t cid = 0; cid < 3; ++cid) {
+    ASSERT_TRUE(ctrl_.SubmitCoalesced(qid, read_cmd(cid)).ok());
+  }
+  // Staged, not published: no doorbell MMIO, no time, nothing to execute.
+  EXPECT_EQ(ctrl_.StagedCount(qid), 3u);
+  EXPECT_EQ(ctrl_.counters().Get("nvme_doorbells"), 0u);
+  EXPECT_EQ(engine_.Now(), before);
+  EXPECT_EQ(ctrl_.ProcessSubmissions(), 0u);
+  // The K-th SQE rings: one doorbell write (one cost) publishes all four.
+  ASSERT_TRUE(ctrl_.SubmitCoalesced(qid, read_cmd(3)).ok());
+  EXPECT_EQ(ctrl_.StagedCount(qid), 0u);
+  EXPECT_EQ(ctrl_.counters().Get("nvme_doorbells"), 1u);
+  EXPECT_EQ(ctrl_.counters().Get("nvme_doorbell_sqes"), 4u);
+  EXPECT_EQ(engine_.Now(), before + 500u);
+  EXPECT_EQ(ctrl_.ProcessSubmissions(), 4u);
+  // A partial batch stays staged until the caller rings explicitly (the
+  // max-delay timer path in the pipeline).
+  ASSERT_TRUE(ctrl_.SubmitCoalesced(qid, read_cmd(4)).ok());
+  ASSERT_TRUE(ctrl_.SubmitCoalesced(qid, read_cmd(5)).ok());
+  EXPECT_EQ(ctrl_.StagedCount(qid), 2u);
+  ASSERT_TRUE(ctrl_.RingDoorbell(qid).ok());
+  EXPECT_EQ(ctrl_.counters().Get("nvme_doorbells"), 2u);
+  EXPECT_EQ(ctrl_.counters().Get("nvme_doorbell_sqes"), 6u);
+  EXPECT_EQ(ctrl_.ProcessSubmissions(), 2u);
+  // Ringing with nothing staged is free.
+  ASSERT_TRUE(ctrl_.RingDoorbell(qid).ok());
+  EXPECT_EQ(ctrl_.counters().Get("nvme_doorbells"), 2u);
+}
+
+TEST_F(ControllerTest, CoalescedSubmitRespectsQueueCapacity) {
+  ctrl_.AddNamespace(64);
+  const uint16_t qid = ctrl_.CreateQueuePair(4);  // capacity 3
+  ctrl_.SetDoorbellCoalescing(8);                 // bound > capacity
+  auto read_cmd = [&](uint16_t cid) {
+    Command read;
+    read.cid = cid;
+    read.opcode = Opcode::kRead;
+    read.nsid = 1;
+    read.slba = cid;
+    read.nlb = 0;
+    return read;
+  };
+  // Staging is bounded by SQ free slots: the third SQE fills the queue and
+  // auto-rings rather than staging past what one doorbell can publish.
+  ASSERT_TRUE(ctrl_.SubmitCoalesced(qid, read_cmd(0)).ok());
+  ASSERT_TRUE(ctrl_.SubmitCoalesced(qid, read_cmd(1)).ok());
+  ASSERT_TRUE(ctrl_.SubmitCoalesced(qid, read_cmd(2)).ok());
+  EXPECT_EQ(ctrl_.StagedCount(qid), 0u);
+  EXPECT_EQ(ctrl_.counters().Get("nvme_doorbells"), 1u);
+  // SQ full: further coalesced submits are backpressure, not silent loss.
+  EXPECT_EQ(ctrl_.SubmitCoalesced(qid, read_cmd(3)).code(),
+            StatusCode::kResourceExhausted);
 }
 
 }  // namespace

@@ -356,12 +356,32 @@ TEST(HistogramProperty, ExtremeQuantilesMeetMinMax) {
   for (int i = 0; i < 1000; ++i) {
     hist.Record(rng.Uniform(1'000'000));
   }
-  // q=1 is clamped to the exactly-tracked max; q=0 is an upper bound on
-  // the min that stays within the bucket error.
+  // Both extremes are tracked exactly and answered exactly — no bucket
+  // rounding at q=0 or q=1.
   EXPECT_EQ(hist.Percentile(1.0), hist.max());
-  EXPECT_GE(hist.Percentile(0.0), hist.min());
-  EXPECT_LE(static_cast<double>(hist.Percentile(0.0)),
-            static_cast<double>(hist.min()) * (1.0 + kHistTolerance));
+  EXPECT_EQ(hist.Percentile(0.0), hist.min());
+}
+
+TEST(HistogramProperty, ZeroQuantileIsExactMinimum) {
+  // Regression: q=0 used to be answered from the buckets and returned the
+  // min's bucket *upper bound* — Percentile(0.0) of {1000, 2000} claimed
+  // ~1023 instead of 1000.
+  sim::Histogram hist;
+  hist.Record(1000);
+  hist.Record(2000);
+  EXPECT_EQ(hist.Percentile(0.0), 1000u);
+  EXPECT_EQ(hist.Percentile(1.0), 2000u);
+}
+
+TEST(HistogramProperty, SingleSampleTailQuantilesAreExact) {
+  // One sample: every tail quantile is that sample, not its bucket bound.
+  // 123456789 sits in a wide octave whose upper bound is ~2% high; P999
+  // must clamp to the exactly-tracked max.
+  sim::Histogram hist;
+  hist.Record(123'456'789);
+  EXPECT_EQ(hist.P999(), 123'456'789u);
+  EXPECT_EQ(hist.P99(), 123'456'789u);
+  EXPECT_EQ(hist.Percentile(1.0), 123'456'789u);
 }
 
 TEST(HistogramProperty, ValuesBelowSubBucketRangeAreExact) {
