@@ -1,0 +1,344 @@
+// Experiment E14 — LSM engine on ZNS flash under YCSB mixes (PR 6).
+//
+// Families (all simulated time; Iterations(1) since each run is a full
+// deterministic workload, not a microbenchmark):
+//
+//   Ycsb{A,B,C}/<offload>/<credits>   load 2^20 distinct keys (permuted
+//       order, 64-byte values, group commit of 64), then run 200k ops of the
+//       mix: A = 50/50 read/update, B = 95/5, C = read-only. Reads are
+//       Zipf(0.99); updates hit uniform keys. Background compaction is
+//       pumped between ops and competes with the foreground for NVMe
+//       credits when a gate is configured (credits > 0). Counters:
+//         load_kops_s, mix_kops_s      throughput in simulated time
+//         read_p99_us, write_p99_us    foreground latency tails in the mix
+//         write_amp                    device bytes appended / user bytes
+//         read_amp_blocks              SSTable blocks read per Get
+//         bloom_skip_pct               table probes suppressed by blooms
+//         fg_stall_pct                 foreground ops that hit credit stalls
+//         fpga_merges / host_merges    where compaction merges executed
+//   KillMidCompaction   loads the same 2^20 keys, reopens cleanly
+//       (timing the WAL-truncating recovery), then arms a deterministic
+//       power cut, builds fresh compaction debt, and dies mid-CompactAll.
+//       The final reopen is timed and audited: every key whose last
+//       acknowledged write precedes the cut must read back exactly.
+//         clean_recovery_us, kill_recovery_us, acked_loss (must be 0),
+//         orphan_zones_reset, wal_replayed
+//   Smoke/*   the same pipelines at 2^14 keys for CI.
+//
+// Regenerate the PR 6 numbers with
+//   bench_lsm --benchmark_filter='^(Ycsb|Kill)' --benchmark_format=json > BENCH_PR6.json
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+#include "src/fpga/fabric.h"
+#include "src/fpga/scheduler.h"
+#include "src/nvme/controller.h"
+#include "src/nvme/zns.h"
+#include "src/sim/engine.h"
+#include "src/sim/fault.h"
+#include "src/sim/flow.h"
+#include "src/sim/time.h"
+#include "src/storage/lsm_engine.h"
+
+namespace {
+
+using namespace hyperion;  // NOLINT
+
+constexpr uint64_t kZoneLbas = 1024;  // 4 MiB zones
+constexpr uint32_t kZones = 128;      // 512 MiB namespace
+constexpr size_t kValueLen = 64;
+
+// The full rig an engine instance runs on. The FPGA fabric is present even
+// for offload=0 runs; the engine simply never uses it.
+struct Rig {
+  explicit Rig(uint32_t credits) {
+    nsid = controller.AddNamespace(kZones * kZoneLbas);
+    auto created = nvme::ZonedNamespace::Create(&controller, nsid, kZoneLbas);
+    CHECK_OK(created.status());
+    zns.emplace(std::move(created).value());
+    fabric.emplace(&engine);
+    scheduler.emplace(&engine, &*fabric);
+    if (credits > 0) {
+      gate.emplace(credits);
+    }
+  }
+
+  storage::LsmDeps Deps() {
+    return storage::LsmDeps{.engine = &engine,
+                            .zns = &*zns,
+                            .fpga_sched = &*scheduler,
+                            .fabric = &*fabric,
+                            .nvme_credits = gate ? &*gate : nullptr,
+                            .injector = injector ? &*injector : nullptr};
+  }
+
+  sim::Engine engine;
+  nvme::Controller controller{&engine};
+  uint32_t nsid = 0;
+  std::optional<nvme::ZonedNamespace> zns;
+  std::optional<fpga::Fabric> fabric;
+  std::optional<fpga::SlotScheduler> scheduler;
+  std::optional<sim::CreditGate> gate;
+  std::optional<sim::FaultInjector> injector;
+};
+
+storage::LsmEngineOptions BenchOptions(bool offload) {
+  storage::LsmEngineOptions options;
+  options.wal_group_ops = 64;
+  options.level1_bytes = 6 * 1024 * 1024;
+  options.level_fanout = 4;
+  options.fpga_offload = offload;
+  return options;
+}
+
+// Deterministic 64-byte value: an 8-byte write tag followed by key-derived
+// filler, so recovery audits can verify content, not just presence.
+Bytes MakeValue(uint64_t key, uint64_t tag) {
+  Bytes value(kValueLen);
+  for (size_t i = 0; i < 8; ++i) {
+    value[i] = static_cast<uint8_t>(tag >> (8 * i));
+  }
+  for (size_t i = 8; i < kValueLen; ++i) {
+    value[i] = static_cast<uint8_t>(key * 31 + i);
+  }
+  return value;
+}
+
+// Odd multiplier modulo a power of two is a bijection: loads every key
+// exactly once in a scattered order.
+uint64_t Permute(uint64_t i, uint64_t key_bits) {
+  return (i * 2654435761ULL) & ((1ULL << key_bits) - 1);
+}
+
+void LoadKeys(storage::LsmEngine& lsm, uint64_t key_bits) {
+  const uint64_t n = 1ULL << key_bits;
+  for (uint64_t i = 0; i < n; ++i) {
+    const uint64_t key = Permute(i, key_bits);
+    Bytes value = MakeValue(key, /*tag=*/i + 1);
+    CHECK_OK(lsm.Put(key, ByteSpan(value.data(), value.size())).status());
+    if (i % 8 == 0) {
+      CHECK_OK(lsm.CompactStep().status());
+    }
+  }
+  CHECK_OK(lsm.Sync());
+}
+
+uint64_t P99(std::vector<uint64_t>& ns) {
+  if (ns.empty()) {
+    return 0;
+  }
+  const size_t idx = ns.size() * 99 / 100;
+  std::nth_element(ns.begin(), ns.begin() + idx, ns.end());
+  return ns[idx];
+}
+
+void RunYcsb(benchmark::State& state, uint64_t key_bits, int read_pct, bool offload,
+             uint32_t credits, int mix_ops) {
+  for (auto _ : state) {
+    Rig rig(credits);
+    auto lsm = storage::LsmEngine::Format(rig.Deps(), BenchOptions(offload)).value();
+
+    const sim::SimTime load_t0 = rig.engine.Now();
+    LoadKeys(*lsm, key_bits);
+    const double load_seconds = sim::ToSeconds(rig.engine.Now() - load_t0);
+    const uint64_t user_bytes =
+        (1ULL << key_bits) * (kValueLen + 13);  // encoded entry footprint
+
+    Rng rng(0x9C5B + key_bits);
+    std::vector<uint64_t> read_ns;
+    std::vector<uint64_t> write_ns;
+    read_ns.reserve(mix_ops);
+    write_ns.reserve(mix_ops);
+    const storage::LsmEngineStats before = lsm->stats();
+    const sim::SimTime mix_t0 = rig.engine.Now();
+    uint64_t tag = (1ULL << key_bits) + 1;
+    for (int i = 0; i < mix_ops; ++i) {
+      const bool is_read = rng.Uniform(100) < static_cast<uint64_t>(read_pct);
+      const sim::SimTime t0 = rig.engine.Now();
+      if (is_read) {
+        const uint64_t key = rng.Zipf(1ULL << key_bits, 0.99);
+        auto got = lsm->Get(key);
+        CHECK_OK(got.status());
+        read_ns.push_back(rig.engine.Now() - t0);
+      } else {
+        const uint64_t key = rng.Uniform(1ULL << key_bits);
+        Bytes value = MakeValue(key, tag++);
+        CHECK_OK(lsm->Put(key, ByteSpan(value.data(), value.size())).status());
+        write_ns.push_back(rig.engine.Now() - t0);
+      }
+      if (i % 4 == 0) {
+        CHECK_OK(lsm->CompactStep().status());
+      }
+    }
+    const double mix_seconds = sim::ToSeconds(rig.engine.Now() - mix_t0);
+    const storage::LsmEngineStats& stats = lsm->stats();
+
+    state.counters["load_kops_s"] =
+        static_cast<double>(1ULL << key_bits) / load_seconds / 1000.0;
+    state.counters["mix_kops_s"] =
+        mix_seconds > 0 ? static_cast<double>(mix_ops) / mix_seconds / 1000.0 : 0;
+    state.counters["read_p99_us"] = static_cast<double>(P99(read_ns)) / 1000.0;
+    state.counters["write_p99_us"] = static_cast<double>(P99(write_ns)) / 1000.0;
+    state.counters["write_amp"] =
+        static_cast<double>(lsm->media()->stats().appended_bytes) /
+        static_cast<double>(user_bytes);
+    const uint64_t gets = stats.gets - before.gets;
+    state.counters["read_amp_blocks"] =
+        gets > 0 ? static_cast<double>(stats.get_blocks_read - before.get_blocks_read) /
+                       static_cast<double>(gets)
+                 : 0;
+    const uint64_t probes_considered = stats.bloom_skips + stats.table_probes;
+    state.counters["bloom_skip_pct"] =
+        probes_considered > 0
+            ? 100.0 * static_cast<double>(stats.bloom_skips) /
+                  static_cast<double>(probes_considered)
+            : 0;
+    state.counters["fg_stall_pct"] =
+        100.0 * static_cast<double>(stats.fg_credit_stalls) /
+        static_cast<double>(stats.puts + stats.deletes + stats.gets);
+    state.counters["compaction_deferred"] = static_cast<double>(stats.compaction_deferred);
+    state.counters["flush_stalls"] = static_cast<double>(stats.flush_stalls);
+    state.counters["fpga_merges"] = static_cast<double>(stats.fpga_merges);
+    state.counters["host_merges"] = static_cast<double>(stats.host_merges);
+    state.counters["flushes"] = static_cast<double>(stats.flushes);
+    state.counters["compactions"] = static_cast<double>(stats.compactions);
+  }
+}
+
+void RunKillMidCompaction(benchmark::State& state, uint64_t key_bits) {
+  for (auto _ : state) {
+    Rig rig(/*credits=*/64);
+    const storage::LsmEngineOptions options = BenchOptions(/*offload=*/true);
+    std::unordered_map<uint64_t, uint64_t> expected_tag;
+    std::unordered_map<uint64_t, uint64_t> last_write_seq;
+
+    {
+      auto lsm = storage::LsmEngine::Format(rig.Deps(), options).value();
+      LoadKeys(*lsm, key_bits);
+      const uint64_t n = 1ULL << key_bits;
+      for (uint64_t i = 0; i < n; ++i) {
+        const uint64_t key = Permute(i, key_bits);
+        expected_tag[key] = i + 1;
+        last_write_seq[key] = i + 1;
+      }
+      CHECK_EQ(lsm->last_acked_seq(), n);
+    }
+
+    // Clean reopen: recovery truncates the WAL and reloads the manifest.
+    auto clean = storage::LsmEngine::Open(rig.Deps(), options).value();
+    const double clean_recovery_us =
+        static_cast<double>(clean->recovery().recovery_ns) / 1000.0;
+
+    // Arm the cut a fixed number of appends out, then write fresh compaction
+    // debt so CompactAll is guaranteed to be the code that trips it.
+    constexpr uint64_t kCutAfterAppends = 400;
+    rig.injector.emplace(
+        &rig.engine,
+        sim::FaultPlan().AtQuery(sim::FaultSite::kStoragePowerCut, kCutAfterAppends),
+        0x5eed);
+    clean.reset();
+    auto lsm = storage::LsmEngine::Open(rig.Deps(), options).value();
+
+    Rng rng(0xD1E);
+    uint64_t tag = (1ULL << key_bits) * 2;
+    // Stop the burst 24 appends shy of the cut: a put can add at most ~10
+    // appends (flush + group sync), so the cut cannot fire here — only the
+    // CompactAll below can reach it.
+    while (rig.injector->InjectedCount(sim::FaultSite::kStoragePowerCut) == 0 &&
+           lsm->media()->stats().appends + 24 < kCutAfterAppends) {
+      const uint64_t key = rng.Uniform(1ULL << key_bits);
+      Bytes value = MakeValue(key, tag);
+      auto seq = lsm->Put(key, ByteSpan(value.data(), value.size()));
+      CHECK_OK(seq.status());
+      expected_tag[key] = tag++;
+      last_write_seq[key] = *seq;
+    }
+    CHECK_OK(lsm->Sync());
+    const uint64_t acked = lsm->last_acked_seq();
+    CHECK(lsm->CompactionPending()) << "kill bench needs compaction debt";
+    const Status compacted = lsm->CompactAll();
+    CHECK(!compacted.ok() && lsm->dead()) << "the cut must land mid-compaction";
+
+    lsm.reset();
+    auto reopened = storage::LsmEngine::Open(rig.Deps(), options);
+    CHECK_OK(reopened.status());
+    lsm = std::move(reopened).value();
+    const storage::RecoveryInfo& rec = lsm->recovery();
+    CHECK_GE(rec.recovered_seq, acked);
+
+    // Audit: every key whose last acknowledged write happened before the cut
+    // must read back with exactly the bytes that were acknowledged.
+    uint64_t audited = 0;
+    uint64_t lost = 0;
+    for (const auto& [key, seq] : last_write_seq) {
+      if (seq > acked) {
+        continue;  // never acknowledged; either outcome is legal
+      }
+      ++audited;
+      auto got = lsm->Get(key);
+      CHECK_OK(got.status());
+      const Bytes want = MakeValue(key, expected_tag[key]);
+      if (!got->has_value() || **got != want) {
+        ++lost;
+      }
+    }
+
+    state.counters["clean_recovery_us"] = clean_recovery_us;
+    state.counters["kill_recovery_us"] = static_cast<double>(rec.recovery_ns) / 1000.0;
+    state.counters["acked_loss"] = static_cast<double>(lost);
+    state.counters["audited_keys"] = static_cast<double>(audited);
+    state.counters["orphan_zones_reset"] = static_cast<double>(rec.orphan_zones_reset);
+    state.counters["wal_replayed"] = static_cast<double>(rec.wal_records_replayed);
+    state.counters["manifest_version"] = static_cast<double>(rec.manifest_version);
+    CHECK_EQ(lost, 0u) << "acknowledged writes lost across the kill";
+  }
+}
+
+constexpr uint64_t kFullKeyBits = 20;  // 2^20 = 1,048,576 keys
+constexpr int kFullMixOps = 200000;
+constexpr uint64_t kSmokeKeyBits = 14;
+constexpr int kSmokeMixOps = 10000;
+
+void YcsbA(benchmark::State& state) {
+  RunYcsb(state, kFullKeyBits, 50, state.range(0) != 0, static_cast<uint32_t>(state.range(1)),
+          kFullMixOps);
+}
+void YcsbB(benchmark::State& state) {
+  RunYcsb(state, kFullKeyBits, 95, true, 64, kFullMixOps);
+}
+void YcsbC(benchmark::State& state) {
+  RunYcsb(state, kFullKeyBits, 100, true, 64, kFullMixOps);
+}
+void KillMidCompaction(benchmark::State& state) {
+  RunKillMidCompaction(state, kFullKeyBits);
+}
+void SmokeYcsbA(benchmark::State& state) {
+  RunYcsb(state, kSmokeKeyBits, 50, true, 64, kSmokeMixOps);
+}
+void SmokeKill(benchmark::State& state) { RunKillMidCompaction(state, kSmokeKeyBits); }
+
+// YcsbA args: <fpga_offload, credit_cap>. 64 credits is comfortable; 8 sits
+// at the compaction credit reserve, so the gate refuses background grants
+// entirely — compaction defers until write stalls force a drain, and the
+// interference lands on foreground write tails.
+BENCHMARK(YcsbA)->ArgNames({"offload", "credits"})
+    ->Args({1, 64})
+    ->Args({0, 64})
+    ->Args({1, 8})
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(YcsbB)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(YcsbC)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(KillMidCompaction)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(SmokeYcsbA)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(SmokeKill)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace

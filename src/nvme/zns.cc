@@ -31,6 +31,14 @@ Result<Zone> ZonedNamespace::Describe(uint32_t zone_id) const {
   return zones_[zone_id];
 }
 
+Result<uint64_t> ZonedNamespace::Remaining(uint32_t zone_id) const {
+  if (zone_id >= zones_.size()) {
+    return InvalidArgument("no such zone");
+  }
+  const Zone& zone = zones_[zone_id];
+  return zone.start_lba + zone.capacity_lbas - zone.write_pointer;
+}
+
 Status ZonedNamespace::Write(uint32_t zone_id, uint64_t slba, ByteSpan data) {
   if (zone_id >= zones_.size()) {
     return InvalidArgument("no such zone");

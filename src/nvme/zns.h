@@ -41,7 +41,13 @@ class ZonedNamespace {
 
   uint32_t ZoneCount() const { return static_cast<uint32_t>(zones_.size()); }
   uint64_t zone_lbas() const { return zone_lbas_; }
+  // LBAs reachable through the zoned view: ZoneCount() * zone_lbas(). The
+  // namespace's trailing partial zone (if any) is outside every zone and
+  // never addressable — appends cannot cross into it.
+  uint64_t AddressableLbas() const { return zones_.size() * zone_lbas_; }
   Result<Zone> Describe(uint32_t zone_id) const;
+  // Writable LBAs left before the zone is FULL (0 for full zones).
+  Result<uint64_t> Remaining(uint32_t zone_id) const;
 
   // Sequential write at the zone's write pointer. kInvalidArgument if
   // `slba` != write pointer (the ZNS contract); kResourceExhausted when

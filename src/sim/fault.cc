@@ -22,6 +22,8 @@ std::string_view FaultSiteName(FaultSite site) {
       return "net_corrupt";
     case FaultSite::kRpcResponseDrop:
       return "rpc_response_drop";
+    case FaultSite::kStoragePowerCut:
+      return "storage_power_cut";
   }
   return "?";
 }
@@ -52,6 +54,10 @@ bool FaultInjector::ShouldInject(FaultSite site) {
       continue;
     }
     if (state.injected >= state.rule.max_faults) {
+      continue;
+    }
+    if (state.skipped < state.rule.skip_first) {
+      ++state.skipped;  // pass-through; no draw, streams stay undisturbed
       continue;
     }
     if (!state.rng.Bernoulli(state.rule.probability)) {

@@ -46,8 +46,9 @@ enum class FaultSite : uint8_t {
   kNetLoss,             // one-way message lost on the wire
   kNetCorrupt,          // delivered, but fails its checksum at the receiver
   kRpcResponseDrop,     // server executed, response evaporated
+  kStoragePowerCut,     // power lost mid-append: torn tail, device dark
 };
-inline constexpr size_t kFaultSiteCount = 7;
+inline constexpr size_t kFaultSiteCount = 8;
 
 // Stable lower_snake name ("nvme_read_error", ...), used for counter keys.
 std::string_view FaultSiteName(FaultSite site);
@@ -61,6 +62,11 @@ struct FaultRule {
   SimTime active_from = 0;         // window on the virtual clock,
   SimTime active_until = kNoEnd;   // [active_from, active_until)
   uint64_t max_faults = kUnlimited;  // injection budget for this rule
+  // In-window queries this rule lets pass before it starts evaluating.
+  // With probability 1.0 this aims the rule at exactly the Nth query — how
+  // the crash-recovery matrix lands a power cut on a chosen flush/
+  // compaction/manifest boundary. Skipped queries draw no randomness.
+  uint64_t skip_first = 0;
 };
 
 // Declarative fault schedule. Value type; build one, hand it to an injector.
@@ -81,6 +87,12 @@ class FaultPlan {
   // Every query at `site` injects independently with probability `p`.
   FaultPlan& WithProbability(FaultSite site, double p) {
     return Add(FaultRule{site, p, 0, FaultRule::kNoEnd, FaultRule::kUnlimited});
+  }
+
+  // Deterministically injects on queries [skip, skip + count) at `site`:
+  // the crash-matrix primitive ("power-cut exactly at the Nth append").
+  FaultPlan& AtQuery(FaultSite site, uint64_t skip, uint64_t count = 1) {
+    return Add(FaultRule{site, 1.0, 0, FaultRule::kNoEnd, count, skip});
   }
 
   bool empty() const { return rules_.empty(); }
@@ -119,6 +131,7 @@ class FaultInjector {
     FaultRule rule;
     Rng rng;
     uint64_t injected = 0;
+    uint64_t skipped = 0;  // in-window queries passed through so far
   };
 
   Engine* engine_;

@@ -1,0 +1,180 @@
+#include "src/storage/manifest.h"
+
+#include "src/common/bytes.h"
+
+namespace hyperion::storage {
+
+namespace {
+
+constexpr uint32_t kManifestMagic = 0x314e414du;  // "MAN1"
+
+void EncodeTable(Bytes& out, const TableMeta& meta) {
+  PutU64(out, meta.id);
+  PutU32(out, meta.level);
+  PutU64(out, meta.min_key);
+  PutU64(out, meta.max_key);
+  PutU64(out, meta.entry_count);
+  PutU32(out, meta.data_blocks);
+  PutU32(out, meta.footer_blocks);
+  PutU32(out, static_cast<uint32_t>(meta.extents.size()));
+  for (const TableExtent& extent : meta.extents) {
+    PutU32(out, extent.zone);
+    PutU64(out, extent.slba);
+    PutU32(out, extent.blocks);
+  }
+}
+
+TableMeta DecodeTable(ByteReader& reader) {
+  TableMeta meta;
+  meta.id = reader.ReadU64();
+  meta.level = reader.ReadU32();
+  meta.min_key = reader.ReadU64();
+  meta.max_key = reader.ReadU64();
+  meta.entry_count = reader.ReadU64();
+  meta.data_blocks = reader.ReadU32();
+  meta.footer_blocks = reader.ReadU32();
+  const uint32_t n_extents = reader.ReadU32();
+  meta.extents.reserve(n_extents);
+  for (uint32_t i = 0; i < n_extents && reader.Ok(); ++i) {
+    TableExtent extent;
+    extent.zone = reader.ReadU32();
+    extent.slba = reader.ReadU64();
+    extent.blocks = reader.ReadU32();
+    meta.extents.push_back(extent);
+  }
+  return meta;
+}
+
+Bytes EncodeRecord(const VersionState& state) {
+  Bytes record;
+  PutU32(record, kManifestMagic);
+  PutU64(record, state.version);
+  PutU64(record, state.last_flushed_seq);
+  PutU64(record, state.next_table_id);
+  PutU64(record, state.next_seq);
+  PutU32(record, static_cast<uint32_t>(state.wal_zones.size()));
+  for (uint32_t zone : state.wal_zones) {
+    PutU32(record, zone);
+  }
+  PutU32(record, static_cast<uint32_t>(state.levels.size()));
+  for (const auto& level : state.levels) {
+    PutU32(record, static_cast<uint32_t>(level.size()));
+    for (const TableMeta& meta : level) {
+      EncodeTable(record, meta);
+    }
+  }
+  PutU32(record, Crc32c(ByteSpan(record.data(), record.size())));
+  const size_t blocks = (record.size() + nvme::kLbaSize - 1) / nvme::kLbaSize;
+  record.resize(blocks * nvme::kLbaSize, 0);
+  return record;
+}
+
+// Parses one record starting at byte `at`; returns nullopt when the bytes
+// there are not a complete CRC-valid record (zone tail or torn append).
+// `record_blocks` gets the parsed record's padded length on success.
+std::optional<VersionState> DecodeRecord(ByteSpan raw, size_t at, size_t* record_blocks) {
+  ByteReader reader{raw.subspan(at)};
+  if (reader.ReadU32() != kManifestMagic) {
+    return std::nullopt;
+  }
+  VersionState state;
+  state.version = reader.ReadU64();
+  state.last_flushed_seq = reader.ReadU64();
+  state.next_table_id = reader.ReadU64();
+  state.next_seq = reader.ReadU64();
+  const uint32_t n_wal = reader.ReadU32();
+  state.wal_zones.reserve(n_wal);
+  for (uint32_t i = 0; i < n_wal && reader.Ok(); ++i) {
+    state.wal_zones.push_back(reader.ReadU32());
+  }
+  const uint32_t n_levels = reader.ReadU32();
+  state.levels.reserve(n_levels);
+  for (uint32_t l = 0; l < n_levels && reader.Ok(); ++l) {
+    const uint32_t n_tables = reader.ReadU32();
+    std::vector<TableMeta> level;
+    level.reserve(n_tables);
+    for (uint32_t t = 0; t < n_tables && reader.Ok(); ++t) {
+      level.push_back(DecodeTable(reader));
+    }
+    state.levels.push_back(std::move(level));
+  }
+  const size_t crc_at = reader.offset();
+  const uint32_t stored_crc = reader.ReadU32();
+  if (!reader.Ok()) {
+    return std::nullopt;
+  }
+  if (Crc32c(raw.subspan(at, crc_at)) != stored_crc) {
+    return std::nullopt;
+  }
+  const size_t raw_len = crc_at + 4;
+  *record_blocks = (raw_len + nvme::kLbaSize - 1) / nvme::kLbaSize;
+  return state;
+}
+
+}  // namespace
+
+Status Manifest::Persist(VersionState& state) {
+  ++state.version;
+  const Bytes record = EncodeRecord(state);
+  const uint64_t blocks = record.size() / nvme::kLbaSize;
+  auto remaining = media_->Remaining(active_);
+  if (!remaining.ok()) {
+    --state.version;
+    return remaining.status();
+  }
+  uint32_t target = active_;
+  if (*remaining < blocks) {
+    // Swap: reset the other zone, then land the record there. A crash
+    // between the two leaves the old zone's best record authoritative.
+    target = active_ == zone_a_ ? zone_b_ : zone_a_;
+    Status reset = media_->Reset(target);
+    if (!reset.ok()) {
+      --state.version;
+      return reset;
+    }
+    ++stats_.zone_swaps;
+  }
+  auto slba = media_->Append(target, ByteSpan(record.data(), record.size()));
+  if (!slba.ok()) {
+    --state.version;
+    return slba.status();
+  }
+  active_ = target;
+  ++stats_.persists;
+  stats_.bytes += record.size();
+  return Status::Ok();
+}
+
+Result<std::optional<VersionState>> Manifest::Recover() {
+  std::optional<VersionState> best;
+  uint32_t best_zone = zone_a_;
+  for (uint32_t zone : {zone_a_, zone_b_}) {
+    ASSIGN_OR_RETURN(nvme::Zone info, media_->zns()->Describe(zone));
+    const uint64_t written = info.write_pointer - info.start_lba;
+    if (written == 0) {
+      continue;
+    }
+    ASSIGN_OR_RETURN(Bytes raw, media_->Read(zone, info.start_lba,
+                                             static_cast<uint32_t>(written)));
+    const ByteSpan raw_span(raw.data(), raw.size());
+    size_t at = 0;
+    while (at < raw.size()) {
+      size_t record_blocks = 0;
+      std::optional<VersionState> state = DecodeRecord(raw_span, at, &record_blocks);
+      if (!state.has_value()) {
+        break;  // torn tail or padding: nothing after it can be newer
+      }
+      if (!best.has_value() || state->version > best->version) {
+        best = std::move(state);
+        best_zone = zone;
+      }
+      at += record_blocks * nvme::kLbaSize;
+    }
+  }
+  if (best.has_value()) {
+    active_ = best_zone;
+  }
+  return best;
+}
+
+}  // namespace hyperion::storage

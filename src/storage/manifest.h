@@ -1,0 +1,84 @@
+// Versioned manifest on a dedicated pair of zones: the LSM engine's
+// recovery root.
+//
+// Every metadata transition — flush, compaction, WAL-zone rotation — is one
+// atomic manifest append: a CRC-protected record carrying the complete
+// VersionState (table levels with extent lists, the ordered WAL zone list,
+// and the sequence-number watermarks). Recovery scans both manifest zones
+// and adopts the highest-version record whose CRC validates; a record torn
+// by a power cut simply loses to its predecessor, which is what makes the
+// append the commit point.
+//
+// Two zones alternate: when the active zone cannot fit the next record, the
+// other zone is reset and the record lands there. A crash between the reset
+// and the append leaves the previous zone's records intact — the best valid
+// version never goes backwards.
+
+#ifndef HYPERION_SRC_STORAGE_MANIFEST_H_
+#define HYPERION_SRC_STORAGE_MANIFEST_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/storage/sstable.h"
+#include "src/storage/zns_media.h"
+
+namespace hyperion::storage {
+
+// The complete durable metadata of the engine at one version.
+struct VersionState {
+  uint64_t version = 0;            // monotonic; bumped by each Persist
+  uint64_t last_flushed_seq = 0;   // every seq <= this is in some SSTable
+  uint64_t next_table_id = 1;
+  uint64_t next_seq = 1;           // lower bound for post-recovery seqs
+  std::vector<uint32_t> wal_zones; // replay order; last is the active zone
+  // levels[0] = L0, overlapping tables oldest-first (newest last);
+  // levels[n>=1] = disjoint runs sorted by min_key.
+  std::vector<std::vector<TableMeta>> levels;
+
+  bool operator==(const VersionState&) const = default;
+};
+
+struct ManifestStats {
+  uint64_t persists = 0;
+  uint64_t bytes = 0;        // media bytes appended
+  uint64_t zone_swaps = 0;
+
+  bool operator==(const ManifestStats&) const = default;
+};
+
+class Manifest {
+ public:
+  Manifest(ZnsMedia* media, uint32_t zone_a, uint32_t zone_b)
+      : media_(media), zone_a_(zone_a), zone_b_(zone_b), active_(zone_a) {}
+  Manifest(const Manifest&) = delete;
+  Manifest& operator=(const Manifest&) = delete;
+
+  // Bumps state.version and appends the full state as one record; on OK the
+  // new version is the one recovery will adopt. On failure state.version is
+  // rolled back and the durable state is unchanged (the torn record loses
+  // the version race).
+  Status Persist(VersionState& state);
+
+  // Scans both zones for the highest CRC-valid version. nullopt = neither
+  // zone holds a valid record (an unformatted device).
+  Result<std::optional<VersionState>> Recover();
+
+  uint32_t active_zone() const { return active_; }
+  uint32_t zone_a() const { return zone_a_; }
+  uint32_t zone_b() const { return zone_b_; }
+  const ManifestStats& stats() const { return stats_; }
+
+ private:
+  ZnsMedia* media_;
+  uint32_t zone_a_;
+  uint32_t zone_b_;
+  uint32_t active_;
+  ManifestStats stats_;
+};
+
+}  // namespace hyperion::storage
+
+#endif  // HYPERION_SRC_STORAGE_MANIFEST_H_

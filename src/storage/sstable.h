@@ -1,0 +1,110 @@
+// SSTable-on-ZNS: immutable sorted tables written with Zone Append.
+//
+// A table is a run of 4 KiB data blocks (packed key/value entries, zero
+// padding) followed by a CRC-protected footer holding the per-table bloom
+// filter and the sparse block index — the read-path metadata lives with the
+// data on flash, so recovery only needs the manifest's extent list to find
+// a table and one footer read to serve from it.
+//
+// Tables are append-streamed into whatever data zone is open, so a table
+// may span zones: the manifest records an extent list (zone, start LBA,
+// block count) per table, and logical block N maps through it. Zone Append
+// picks the LBA, which is why the extent list is discovered at write time
+// rather than chosen by the engine — the contention-free ZNS contract the
+// paper's blueprint names as the natural SSTable write primitive.
+//
+// Block entry wire format: key u64 | flag u8 (1 = live, 2 = tombstone,
+// 0 = padding sentinel) | len u32 | value bytes.
+
+#ifndef HYPERION_SRC_STORAGE_SSTABLE_H_
+#define HYPERION_SRC_STORAGE_SSTABLE_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/storage/zns_media.h"
+
+namespace hyperion::storage {
+
+inline constexpr uint32_t kSsBlockBytes = nvme::kLbaSize;
+
+// One contiguous run of blocks inside a single zone.
+struct TableExtent {
+  uint32_t zone = 0;
+  uint64_t slba = 0;
+  uint32_t blocks = 0;
+
+  bool operator==(const TableExtent&) const = default;
+};
+
+// Everything the manifest persists about a table; enough to locate the
+// footer, which holds the rest.
+struct TableMeta {
+  uint64_t id = 0;
+  uint32_t level = 0;
+  uint64_t min_key = 0;
+  uint64_t max_key = 0;
+  uint64_t entry_count = 0;
+  uint32_t data_blocks = 0;    // payload blocks, before the footer
+  uint32_t footer_blocks = 0;  // footer blocks trailing the payload
+  std::vector<TableExtent> extents;  // covers data_blocks + footer_blocks
+
+  uint32_t TotalBlocks() const { return data_blocks + footer_blocks; }
+  uint64_t DataBytes() const { return static_cast<uint64_t>(data_blocks) * kSsBlockBytes; }
+
+  bool operator==(const TableMeta&) const = default;
+};
+
+// In-memory read acceleration, decoded from the footer.
+struct TableIndex {
+  std::vector<uint64_t> bloom;  // bit array, 64-bit words
+  // First key of each data block -> logical data-block number.
+  std::vector<std::pair<uint64_t, uint32_t>> sparse;
+};
+
+// (key, value-or-tombstone): the merge currency of the engine.
+using LsmEntry = std::pair<uint64_t, std::optional<Bytes>>;
+
+// A fully serialized table awaiting its media writes: `image` is the data
+// blocks followed by the footer blocks, an LBA multiple. meta.extents is
+// empty until the engine appends the image and records where it landed.
+struct BuiltTable {
+  TableMeta meta;
+  TableIndex index;
+  Bytes image;
+};
+
+// Serializes sorted, unique-key `entries` into blocks + footer. Entries
+// must be non-empty and each must fit a block (the engine caps value size).
+Result<BuiltTable> BuildTable(uint64_t id, uint32_t level, std::span<const LsmEntry> entries);
+
+bool BloomMayContain(const std::vector<uint64_t>& bits, uint64_t key);
+
+// Reads logical blocks [first, first + count) of `meta` through its extent
+// list (a read may span extents and therefore zones).
+Result<Bytes> ReadTableBlocks(ZnsMedia* media, const TableMeta& meta, uint32_t first,
+                              uint32_t count);
+
+// Reads and validates the footer; cross-checks it against `meta`.
+Result<TableIndex> LoadTableIndex(ZnsMedia* media, const TableMeta& meta);
+
+// Point lookup. Outer nullopt = key absent from this table; inner nullopt =
+// tombstone. `blocks_read` (optional) accumulates data blocks fetched.
+Result<std::optional<std::optional<Bytes>>> TableGet(ZnsMedia* media, const TableMeta& meta,
+                                                     const TableIndex& index, uint64_t key,
+                                                     uint64_t* blocks_read = nullptr);
+
+// Decodes every entry in a run of data blocks (compaction / scan / tests).
+Result<std::vector<LsmEntry>> ParseBlockEntries(ByteSpan blocks);
+
+// Reads all entries of a table in key order.
+Result<std::vector<LsmEntry>> ReadTableEntries(ZnsMedia* media, const TableMeta& meta,
+                                               uint64_t* blocks_read = nullptr);
+
+}  // namespace hyperion::storage
+
+#endif  // HYPERION_SRC_STORAGE_SSTABLE_H_

@@ -1,0 +1,130 @@
+#include "src/storage/wal.h"
+
+#include "src/common/bytes.h"
+#include "src/common/check.h"
+
+namespace hyperion::storage {
+
+namespace {
+
+constexpr uint32_t kGroupMagic = 0x474c4157u;  // "WALG"
+constexpr size_t kGroupHeader = 4 + 8 + 4 + 4;
+constexpr size_t kGroupTrailer = 4;  // crc32c
+
+uint64_t GroupBlocks(size_t payload_len) {
+  const size_t raw = kGroupHeader + payload_len + kGroupTrailer;
+  return (raw + nvme::kLbaSize - 1) / nvme::kLbaSize;
+}
+
+}  // namespace
+
+void Wal::Add(uint8_t kind, uint64_t key, ByteSpan value, uint64_t seq) {
+  if (pending_records_ == 0) {
+    first_seq_ = seq;
+  } else {
+    CHECK(seq == first_seq_ + pending_records_) << "WAL group seqs must be contiguous";
+  }
+  payload_.push_back(kind);
+  PutU64(payload_, key);
+  PutU32(payload_, static_cast<uint32_t>(value.size()));
+  PutBytes(payload_, value);
+  ++pending_records_;
+}
+
+uint64_t Wal::PendingBlocks() const {
+  if (pending_records_ == 0) {
+    return 0;
+  }
+  return GroupBlocks(payload_.size());
+}
+
+Status Wal::Sync() {
+  if (pending_records_ == 0) {
+    return Status::Ok();
+  }
+  Bytes group;
+  group.reserve(PendingBlocks() * nvme::kLbaSize);
+  PutU32(group, kGroupMagic);
+  PutU64(group, first_seq_);
+  PutU32(group, static_cast<uint32_t>(pending_records_));
+  PutU32(group, static_cast<uint32_t>(payload_.size()));
+  PutBytes(group, ByteSpan(payload_.data(), payload_.size()));
+  PutU32(group, Crc32c(ByteSpan(group.data(), group.size())));
+  group.resize(GroupBlocks(payload_.size()) * nvme::kLbaSize, 0);
+  RETURN_IF_ERROR(media_->Append(zone_, ByteSpan(group.data(), group.size())).status());
+  ++stats_.syncs;
+  stats_.records += pending_records_;
+  stats_.bytes += group.size();
+  DiscardPending();
+  return Status::Ok();
+}
+
+void Wal::DiscardPending() {
+  payload_.clear();
+  pending_records_ = 0;
+  first_seq_ = 0;
+}
+
+Result<WalReplayStats> ReplayWal(
+    ZnsMedia* media, std::span<const uint32_t> zones, uint64_t min_seq,
+    const std::function<void(uint64_t seq, uint8_t kind, uint64_t key, ByteSpan value)>& fn) {
+  WalReplayStats stats;
+  for (uint32_t zone : zones) {
+    ASSIGN_OR_RETURN(nvme::Zone info, media->zns()->Describe(zone));
+    uint64_t lba = info.start_lba;  // LBAs are namespace-absolute
+    while (lba < info.write_pointer) {
+      // Read the group header block first; the length field tells us how
+      // many more blocks the group spans.
+      ASSIGN_OR_RETURN(Bytes head, media->Read(zone, lba, 1));
+      ByteReader header{ByteSpan(head.data(), head.size())};
+      if (header.ReadU32() != kGroupMagic) {
+        ++stats.torn_groups;  // zeroed or garbage start: torn tail
+        return stats;
+      }
+      const uint64_t first_seq = header.ReadU64();
+      const uint32_t n_records = header.ReadU32();
+      const uint32_t payload_len = header.ReadU32();
+      const uint64_t group_blocks = GroupBlocks(payload_len);
+      if (lba + group_blocks > info.write_pointer) {
+        ++stats.torn_groups;  // the tail of the group never hit media
+        return stats;
+      }
+      Bytes group = std::move(head);
+      if (group_blocks > 1) {
+        ASSIGN_OR_RETURN(Bytes rest,
+                         media->Read(zone, lba + 1, static_cast<uint32_t>(group_blocks - 1)));
+        PutBytes(group, ByteSpan(rest.data(), rest.size()));
+      }
+      const size_t crc_at = kGroupHeader + payload_len;
+      ByteReader body{ByteSpan(group.data(), group.size())};
+      body.Skip(crc_at);
+      const uint32_t stored_crc = body.ReadU32();
+      if (!body.Ok() || Crc32c(ByteSpan(group.data(), crc_at)) != stored_crc) {
+        ++stats.torn_groups;  // payload torn mid-group
+        return stats;
+      }
+      ByteReader records{ByteSpan(group.data() + kGroupHeader, payload_len)};
+      for (uint32_t i = 0; i < n_records; ++i) {
+        const uint8_t kind = records.ReadU8();
+        const uint64_t key = records.ReadU64();
+        const uint32_t len = records.ReadU32();
+        const Bytes value = records.ReadBytes(len);
+        if (!records.Ok() || (kind != kWalPut && kind != kWalDelete)) {
+          return DataLoss("CRC-valid WAL group with a corrupt record");
+        }
+        const uint64_t seq = first_seq + i;
+        if (seq > min_seq) {
+          fn(seq, kind, key, ByteSpan(value.data(), value.size()));
+          ++stats.records;
+        } else {
+          ++stats.skipped_records;
+        }
+      }
+      ++stats.groups;
+      lba += group_blocks;
+    }
+  }
+  return stats;
+}
+
+}  // namespace hyperion::storage

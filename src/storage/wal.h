@@ -1,0 +1,105 @@
+// Write-ahead log on zoned flash: group commit, zone append, torn-tail
+// detection.
+//
+// Mutations are buffered into a commit group; Sync() serializes the group
+// as one CRC-protected record batch, zero-padded to whole LBAs, and lands
+// it with a single Zone Append — the ack boundary. A put is acknowledged
+// if and only if the Sync covering it returned OK, which is the invariant
+// the crash-recovery matrix asserts (zero acknowledged-write loss).
+//
+// Group wire format, always starting on an LBA boundary:
+//
+//   magic u32 'WALG' | first_seq u64 | n_records u32 | payload_len u32 |
+//   payload | crc32c u32 | zero padding to the LBA boundary
+//
+//   record := kind u8 (1 = put, 2 = delete) | key u64 | len u32 | value
+//
+// Replay walks the manifest's WAL zone list in order, parsing groups from
+// each zone's start to its write pointer. The first group that fails its
+// length or CRC check is the torn tail of the crash — replay stops there,
+// losing only writes that were never acknowledged.
+
+#ifndef HYPERION_SRC_STORAGE_WAL_H_
+#define HYPERION_SRC_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "src/common/result.h"
+#include "src/storage/zns_media.h"
+
+namespace hyperion::storage {
+
+inline constexpr uint8_t kWalPut = 1;
+inline constexpr uint8_t kWalDelete = 2;
+
+struct WalStats {
+  uint64_t syncs = 0;
+  uint64_t records = 0;
+  uint64_t bytes = 0;  // media bytes appended (includes padding)
+
+  bool operator==(const WalStats&) const = default;
+};
+
+class Wal {
+ public:
+  explicit Wal(ZnsMedia* media) : media_(media) {}
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  // The active zone; the engine rotates it (manifest-before-use) when the
+  // pending group no longer fits.
+  void set_zone(uint32_t zone) { zone_ = zone; }
+  uint32_t zone() const { return zone_; }
+
+  // Buffers one record into the pending group. `seq` values must be
+  // contiguous within a group (the group header stores only the first).
+  void Add(uint8_t kind, uint64_t key, ByteSpan value, uint64_t seq);
+
+  size_t pending_records() const { return pending_records_; }
+  // LBAs one Sync() of the current group would append.
+  uint64_t PendingBlocks() const;
+  bool Empty() const { return pending_records_ == 0; }
+
+  // Lands the pending group with one zone append. On OK every buffered
+  // record is durable and the group resets. On failure (power cut, zone
+  // full) nothing was acknowledged; the group stays pending so the engine
+  // can rotate zones and retry — or die, if the media went dark.
+  Status Sync();
+
+  // Drops the pending group without landing it (after a flush has made the
+  // same mutations durable through an SSTable instead).
+  void DiscardPending();
+
+  const WalStats& stats() const { return stats_; }
+
+ private:
+  ZnsMedia* media_;
+  uint32_t zone_ = 0;
+  Bytes payload_;  // encoded records of the pending group
+  size_t pending_records_ = 0;
+  uint64_t first_seq_ = 0;
+  WalStats stats_;
+};
+
+struct WalReplayStats {
+  uint64_t groups = 0;
+  uint64_t records = 0;         // records delivered to the callback
+  uint64_t skipped_records = 0; // valid but at or below min_seq
+  uint64_t torn_groups = 0;     // invalid tail groups (crash artifacts)
+
+  bool operator==(const WalReplayStats&) const = default;
+};
+
+// Replays every record with seq > min_seq from `zones` (manifest order),
+// invoking fn(seq, kind, key, value) in log order. Stops cleanly at the
+// first torn group. Fails only on media errors the controller could not
+// recover.
+Result<WalReplayStats> ReplayWal(
+    ZnsMedia* media, std::span<const uint32_t> zones, uint64_t min_seq,
+    const std::function<void(uint64_t seq, uint8_t kind, uint64_t key, ByteSpan value)>& fn);
+
+}  // namespace hyperion::storage
+
+#endif  // HYPERION_SRC_STORAGE_WAL_H_

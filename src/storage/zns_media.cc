@@ -1,0 +1,63 @@
+#include "src/storage/zns_media.h"
+
+namespace hyperion::storage {
+
+Result<uint64_t> ZnsMedia::Append(uint32_t zone, ByteSpan data) {
+  if (powered_off_) {
+    return Unavailable("media is dark: power was cut");
+  }
+  if (data.empty() || data.size() % nvme::kLbaSize != 0) {
+    return InvalidArgument("append must be whole LBAs");
+  }
+  if (injector_ != nullptr && injector_->ShouldInject(sim::FaultSite::kStoragePowerCut)) {
+    // Power failed while the command was in flight: an LBA-aligned prefix
+    // of the payload is on media (zone appends tear at block granularity),
+    // the write pointer reflects it, and nothing after this instant reaches
+    // flash. The caller sees a failure, so the write was never acked.
+    const uint64_t blocks = data.size() / nvme::kLbaSize;
+    const uint64_t torn = blocks / 2;
+    if (torn > 0) {
+      // Ignore the outcome: if the zone could not take the prefix either,
+      // the media simply holds less of the torn write.
+      auto partial = zns_->Append(zone, data.first(torn * nvme::kLbaSize));
+      if (partial.ok()) {
+        stats_.torn_lbas += torn;
+      }
+    }
+    ++stats_.power_cuts;
+    powered_off_ = true;
+    return Unavailable("power cut during zone append");
+  }
+  ASSIGN_OR_RETURN(uint64_t slba, zns_->Append(zone, data));
+  ++stats_.appends;
+  stats_.appended_bytes += data.size();
+  return slba;
+}
+
+Result<Bytes> ZnsMedia::Read(uint32_t zone, uint64_t slba, uint32_t blocks) {
+  if (powered_off_) {
+    return Unavailable("media is dark: power was cut");
+  }
+  ASSIGN_OR_RETURN(Bytes data, zns_->Read(zone, slba, blocks));
+  ++stats_.reads;
+  stats_.read_bytes += data.size();
+  return data;
+}
+
+Status ZnsMedia::Reset(uint32_t zone) {
+  if (powered_off_) {
+    return Unavailable("media is dark: power was cut");
+  }
+  RETURN_IF_ERROR(zns_->Reset(zone));
+  ++stats_.resets;
+  return Status::Ok();
+}
+
+Result<uint64_t> ZnsMedia::Remaining(uint32_t zone) const {
+  if (powered_off_) {
+    return Unavailable("media is dark: power was cut");
+  }
+  return zns_->Remaining(zone);
+}
+
+}  // namespace hyperion::storage

@@ -1,0 +1,71 @@
+// Power-cut-aware media shim between the LSM engine and a zoned namespace.
+//
+// Every byte the LSM engine persists — WAL groups, SSTable blocks, manifest
+// records — flows through one ZnsMedia so that (a) media-byte accounting
+// for read/write amplification lives in one place, and (b) the PR 1 fault
+// injector gets a single storage-side injection point with honest crash
+// semantics: when FaultSite::kStoragePowerCut fires on an append, the
+// in-flight command tears at an LBA boundary (a prefix of its blocks
+// reaches the zone, advancing the write pointer exactly as a real ZNS
+// device would report after power-up) and the device goes dark — every
+// subsequent operation on this ZnsMedia fails kUnavailable until a new
+// ZnsMedia (a fresh power session) is constructed over the same namespace.
+//
+// The zone write pointers live in the ZonedNamespace, which outlives the
+// engine and the ZnsMedia across a simulated crash — exactly the state a
+// real controller recovers from flash metadata on power-up.
+
+#ifndef HYPERION_SRC_STORAGE_ZNS_MEDIA_H_
+#define HYPERION_SRC_STORAGE_ZNS_MEDIA_H_
+
+#include <cstdint>
+
+#include "src/common/result.h"
+#include "src/nvme/zns.h"
+#include "src/sim/fault.h"
+
+namespace hyperion::storage {
+
+struct ZnsMediaStats {
+  uint64_t appends = 0;
+  uint64_t appended_bytes = 0;
+  uint64_t reads = 0;
+  uint64_t read_bytes = 0;
+  uint64_t resets = 0;
+  uint64_t power_cuts = 0;  // kStoragePowerCut injections absorbed
+  uint64_t torn_lbas = 0;   // prefix blocks that survived a torn append
+
+  bool operator==(const ZnsMediaStats&) const = default;
+};
+
+class ZnsMedia {
+ public:
+  explicit ZnsMedia(nvme::ZonedNamespace* zns, sim::FaultInjector* injector = nullptr)
+      : zns_(zns), injector_(injector) {}
+  ZnsMedia(const ZnsMedia&) = delete;
+  ZnsMedia& operator=(const ZnsMedia&) = delete;
+
+  // Zone Append of whole LBAs; returns the assigned start LBA. On an
+  // injected power cut, a prefix of the blocks lands (possibly none), the
+  // media goes dark, and kUnavailable comes back — the caller's ack must
+  // not have been issued yet, which is the whole point.
+  Result<uint64_t> Append(uint32_t zone, ByteSpan data);
+
+  Result<Bytes> Read(uint32_t zone, uint64_t slba, uint32_t blocks);
+  Status Reset(uint32_t zone);
+  Result<uint64_t> Remaining(uint32_t zone) const;
+
+  bool powered_off() const { return powered_off_; }
+  nvme::ZonedNamespace* zns() { return zns_; }
+  const ZnsMediaStats& stats() const { return stats_; }
+
+ private:
+  nvme::ZonedNamespace* zns_;
+  sim::FaultInjector* injector_;
+  bool powered_off_ = false;
+  ZnsMediaStats stats_;
+};
+
+}  // namespace hyperion::storage
+
+#endif  // HYPERION_SRC_STORAGE_ZNS_MEDIA_H_

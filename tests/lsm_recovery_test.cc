@@ -1,0 +1,417 @@
+// Crash-recovery matrix for the LSM engine (PR 6).
+//
+// The power-cut fault site is queried exactly once per media append, so a
+// fault-free rehearsal counts every durability boundary the workload crosses:
+// WAL group syncs, memtable flush image writes, WAL rotations, manifest
+// persists (including zone swaps), and compaction output writes. The matrix
+// then re-runs the identical workload once per boundary with a deterministic
+// power cut at that boundary and asserts, for every crash point:
+//
+//   1. the crash fired and the engine went dark;
+//   2. reopen succeeds;
+//   3. zero acknowledged-write loss — recovered_seq covers every op the
+//      engine had acknowledged before the lights went out;
+//   4. the recovered state equals a replay of exactly the first
+//      recovered_seq operations (no partial op, no resurrected tombstone);
+//   5. resuming the workload from recovered_seq converges on the same final
+//      state as the fault-free run.
+//
+// Targeted tests cover kill-mid-compaction, torn group-commit tails, and a
+// second power cut that lands during recovery itself.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/nvme/controller.h"
+#include "src/nvme/zns.h"
+#include "src/sim/engine.h"
+#include "src/sim/fault.h"
+#include "src/storage/lsm_engine.h"
+
+namespace hyperion::storage {
+namespace {
+
+// Small zones on purpose: 16 LBAs = 64 KiB. The workload then crosses every
+// kind of boundary — WAL rotation, manifest zone swap — within a few hundred
+// ops instead of millions.
+constexpr uint64_t kZoneLbas = 16;
+constexpr uint32_t kZones = 64;
+constexpr uint64_t kKeySpace = 256;
+constexpr int kWorkloadOps = 500;
+
+struct Rig {
+  Rig() {
+    nsid = controller.AddNamespace(kZones * kZoneLbas);
+    auto created = nvme::ZonedNamespace::Create(&controller, nsid, kZoneLbas);
+    CHECK_OK(created.status());
+    zns.emplace(std::move(created).value());
+  }
+
+  LsmDeps Deps() {
+    return LsmDeps{.engine = &engine, .zns = &*zns, .injector = injector ? &*injector : nullptr};
+  }
+
+  sim::Engine engine;
+  nvme::Controller controller{&engine};
+  uint32_t nsid = 0;
+  std::optional<nvme::ZonedNamespace> zns;
+  std::optional<sim::FaultInjector> injector;
+};
+
+struct Op {
+  bool is_put = false;
+  uint64_t key = 0;
+  Bytes value;
+};
+
+// The workload is generated once; op at index i is always assigned seq i + 1,
+// which is what lets a crash run resume at index recovered_seq.
+std::vector<Op> MakeWorkload(uint64_t seed, int n) {
+  Rng rng(seed);
+  std::vector<Op> ops;
+  ops.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    Op op;
+    op.is_put = rng.Uniform(10) < 7;
+    op.key = rng.Uniform(kKeySpace);
+    if (op.is_put) {
+      op.value.resize(rng.UniformRange(1, 80));
+      for (auto& b : op.value) {
+        b = static_cast<uint8_t>(rng.Next());
+      }
+    }
+    ops.push_back(std::move(op));
+  }
+  return ops;
+}
+
+LsmEngineOptions SmallOptions() {
+  LsmEngineOptions options;
+  options.memtable_budget_bytes = 2 * 1024;
+  options.l0_compaction_trigger = 2;
+  options.l0_stall_limit = 6;
+  options.wal_group_ops = 2;
+  options.target_table_bytes = 8 * 1024;
+  return options;
+}
+
+// Replay of the op prefix [0, n) into a reference map.
+std::map<uint64_t, Bytes> ModelPrefix(const std::vector<Op>& ops, uint64_t n) {
+  std::map<uint64_t, Bytes> model;
+  for (uint64_t i = 0; i < n && i < ops.size(); ++i) {
+    if (ops[i].is_put) {
+      model[ops[i].key] = ops[i].value;
+    } else {
+      model.erase(ops[i].key);
+    }
+  }
+  return model;
+}
+
+void ExpectMatchesModel(LsmEngine& lsm, const std::map<uint64_t, Bytes>& model,
+                        const char* context) {
+  auto scanned = lsm.Scan(0, kKeySpace);
+  ASSERT_TRUE(scanned.ok()) << context << ": " << scanned.status().ToString();
+  ASSERT_EQ(scanned->size(), model.size()) << context;
+  auto want = model.begin();
+  for (const auto& [key, value] : *scanned) {
+    EXPECT_EQ(key, want->first) << context;
+    EXPECT_EQ(value, want->second) << context << " key " << key;
+    ++want;
+  }
+}
+
+// Applies ops[start..) with compaction pumped every third op. Returns the
+// index of the op whose application first observed the crash (ops.size() if
+// none). Mutations that fail after the WAL group synced are still counted as
+// acknowledged by the engine itself — last_acked_seq() is the authority, not
+// the per-op status.
+size_t DriveOps(LsmEngine& lsm, const std::vector<Op>& ops, size_t start) {
+  // Only a run from a fresh format assigns seq i + 1 to op i. After a crash
+  // the sequence can have gaps: a WAL rotation persists next_seq in the
+  // manifest before the group carrying those seqs is torn by the cut.
+  const bool fresh = start == 0;
+  for (size_t i = start; i < ops.size(); ++i) {
+    Result<uint64_t> seq =
+        ops[i].is_put
+            ? lsm.Put(ops[i].key, ByteSpan(ops[i].value.data(), ops[i].value.size()))
+            : lsm.Delete(ops[i].key);
+    if (!seq.ok()) {
+      EXPECT_EQ(seq.status().code(), StatusCode::kUnavailable)
+          << seq.status().ToString();
+      return i;
+    }
+    if (fresh) {
+      EXPECT_EQ(*seq, i + 1) << "seq assignment must track op index";
+    }
+    if (i % 3 == 0) {
+      auto stepped = lsm.CompactStep();
+      if (!stepped.ok()) {
+        EXPECT_EQ(stepped.status().code(), StatusCode::kUnavailable);
+        return i;
+      }
+    }
+  }
+  return ops.size();
+}
+
+// Fault-free rehearsal: returns total power-cut query sites (== appends) and
+// the stats needed to prove the matrix actually covers interesting boundaries.
+struct Rehearsal {
+  uint64_t format_appends = 0;
+  uint64_t boundaries = 0;
+  uint64_t flushes = 0;
+  uint64_t compactions = 0;
+  uint64_t wal_rotations = 0;
+  uint64_t manifest_swaps = 0;
+  std::map<uint64_t, Bytes> final_model;
+};
+
+Rehearsal RunRehearsal(const std::vector<Op>& ops) {
+  Rig rig;
+  auto lsm = LsmEngine::Format(rig.Deps(), SmallOptions()).value();
+  Rehearsal pre;
+  pre.format_appends = lsm->media()->stats().appends;
+  EXPECT_EQ(DriveOps(*lsm, ops, 0), ops.size());
+  EXPECT_TRUE(lsm->Sync().ok());
+  Rehearsal r = pre;
+  r.boundaries = lsm->media()->stats().appends;
+  r.flushes = lsm->stats().flushes;
+  r.compactions = lsm->stats().compactions;
+  r.wal_rotations = lsm->stats().wal_rotations;
+  r.manifest_swaps = lsm->manifest_stats().zone_swaps;
+  r.final_model = ModelPrefix(ops, ops.size());
+  return r;
+}
+
+TEST(LsmRecoveryTest, PowerCutAtEveryBoundary) {
+  const std::vector<Op> ops = MakeWorkload(0xFEED, kWorkloadOps);
+  const Rehearsal rehearsal = RunRehearsal(ops);
+
+  // The workload must actually cross every boundary kind the matrix claims
+  // to cover; otherwise the sweep silently proves nothing.
+  ASSERT_GT(rehearsal.boundaries, 100u);
+  ASSERT_GT(rehearsal.flushes, 0u);
+  ASSERT_GT(rehearsal.compactions, 0u);
+  ASSERT_GT(rehearsal.wal_rotations, 0u);
+  ASSERT_GT(rehearsal.manifest_swaps, 0u);
+
+  // Boundaries inside Format itself are a separate scenario (no durable
+  // state exists yet): Format must fail cleanly and a retry must succeed.
+  for (uint64_t cut = 0; cut < rehearsal.format_appends; ++cut) {
+    SCOPED_TRACE("power cut during format, boundary " + std::to_string(cut));
+    Rig rig;
+    rig.injector.emplace(&rig.engine,
+                         sim::FaultPlan().AtQuery(sim::FaultSite::kStoragePowerCut, cut),
+                         0x5eed);
+    auto formatted = LsmEngine::Format(rig.Deps(), SmallOptions());
+    ASSERT_FALSE(formatted.ok());
+    ASSERT_EQ(formatted.status().code(), StatusCode::kUnavailable);
+    auto retry = LsmEngine::Format(rig.Deps(), SmallOptions());
+    ASSERT_TRUE(retry.ok()) << retry.status().ToString();
+  }
+
+  for (uint64_t cut = rehearsal.format_appends; cut < rehearsal.boundaries; ++cut) {
+    SCOPED_TRACE("power cut at boundary " + std::to_string(cut));
+    Rig rig;
+    rig.injector.emplace(&rig.engine,
+                         sim::FaultPlan().AtQuery(sim::FaultSite::kStoragePowerCut, cut),
+                         0x5eed);
+    auto formatted = LsmEngine::Format(rig.Deps(), SmallOptions());
+    ASSERT_TRUE(formatted.ok()) << formatted.status().ToString();
+    std::unique_ptr<LsmEngine> lsm = std::move(formatted).value();
+
+    const size_t crash_op = DriveOps(*lsm, ops, 0);
+    ASSERT_LT(crash_op, ops.size()) << "the cut must land inside the workload";
+    ASSERT_TRUE(lsm->dead());
+    ASSERT_EQ(rig.injector->InjectedCount(sim::FaultSite::kStoragePowerCut), 1u);
+    const uint64_t acked = lsm->last_acked_seq();
+
+    lsm.reset();
+    auto reopened = LsmEngine::Open(rig.Deps(), SmallOptions());
+    ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+    lsm = std::move(reopened).value();
+
+    const RecoveryInfo& rec = lsm->recovery();
+    ASSERT_TRUE(rec.recovered);
+    // Zero acknowledged-write loss: everything acked before the cut survives.
+    ASSERT_GE(rec.recovered_seq, acked);
+    // No invented writes either: seqs the engine never assigned cannot appear.
+    ASSERT_LE(rec.recovered_seq, static_cast<uint64_t>(crash_op) + 1);
+    ExpectMatchesModel(*lsm, ModelPrefix(ops, rec.recovered_seq),
+                       "recovered prefix");
+
+    // Resume exactly where the durable prefix ends: the crash run must
+    // converge on the fault-free final state.
+    ASSERT_EQ(DriveOps(*lsm, ops, rec.recovered_seq), ops.size());
+    ASSERT_TRUE(lsm->Sync().ok());
+    ExpectMatchesModel(*lsm, rehearsal.final_model, "resumed run");
+  }
+}
+
+TEST(LsmRecoveryTest, KillMidCompactionLosesNothing) {
+  const std::vector<Op> ops = MakeWorkload(0xBEEF, 200);
+
+  // Rehearse the fill phase and the compaction that follows it, then arm the
+  // cut in the middle of the compaction's own append range so it lands on an
+  // output or manifest write with the job half done.
+  uint64_t fill_appends = 0;
+  uint64_t compact_appends = 0;
+  {
+    Rig rig;
+    auto lsm = LsmEngine::Format(rig.Deps(), SmallOptions()).value();
+    for (size_t i = 0; i < ops.size(); ++i) {
+      auto seq = ops[i].is_put
+                     ? lsm->Put(ops[i].key, ByteSpan(ops[i].value.data(), ops[i].value.size()))
+                     : lsm->Delete(ops[i].key);
+      ASSERT_TRUE(seq.ok());
+    }
+    ASSERT_TRUE(lsm->Sync().ok());
+    fill_appends = lsm->media()->stats().appends;
+    ASSERT_TRUE(lsm->CompactionPending());
+    ASSERT_TRUE(lsm->CompactAll().ok());
+    compact_appends = lsm->media()->stats().appends - fill_appends;
+    ASSERT_GT(compact_appends, 0u);
+  }
+
+  Rig rig;
+  rig.injector.emplace(
+      &rig.engine,
+      sim::FaultPlan().AtQuery(sim::FaultSite::kStoragePowerCut,
+                               fill_appends + compact_appends / 2),
+      0x5eed);
+  auto lsm = LsmEngine::Format(rig.Deps(), SmallOptions()).value();
+  for (size_t i = 0; i < ops.size(); ++i) {
+    auto seq = ops[i].is_put
+                   ? lsm->Put(ops[i].key, ByteSpan(ops[i].value.data(), ops[i].value.size()))
+                   : lsm->Delete(ops[i].key);
+    ASSERT_TRUE(seq.ok());
+  }
+  ASSERT_TRUE(lsm->Sync().ok());
+  const uint64_t acked = lsm->last_acked_seq();
+  ASSERT_EQ(acked, ops.size());
+
+  Status compacted = lsm->CompactAll();
+  ASSERT_FALSE(compacted.ok()) << "the cut was armed to land mid-compaction";
+  ASSERT_EQ(compacted.code(), StatusCode::kUnavailable);
+  ASSERT_TRUE(lsm->dead());
+
+  lsm.reset();
+  auto reopened = LsmEngine::Open(rig.Deps(), SmallOptions());
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  lsm = std::move(reopened).value();
+  ASSERT_GE(lsm->recovery().recovered_seq, acked);
+  ExpectMatchesModel(*lsm, ModelPrefix(ops, ops.size()), "post-compaction-kill");
+
+  // The half-written compaction outputs are orphans; recovery must have
+  // reclaimed their zones, and a full compaction must now succeed.
+  ASSERT_TRUE(lsm->CompactAll().ok());
+  ExpectMatchesModel(*lsm, ModelPrefix(ops, ops.size()), "after re-compaction");
+}
+
+TEST(LsmRecoveryTest, TornGroupCommitTailDropsOnlyUnackedOps) {
+  LsmEngineOptions options = SmallOptions();
+  options.wal_group_ops = 8;  // deep group commit: acks lag assignment
+  options.memtable_budget_bytes = 64 * 1024;  // no flush interference
+
+  Rig rehearsal_rig;
+  uint64_t appends_before_sync = 0;
+  {
+    auto lsm = LsmEngine::Format(rehearsal_rig.Deps(), options).value();
+    for (uint64_t k = 0; k < 12; ++k) {
+      Bytes v{static_cast<uint8_t>(k)};
+      ASSERT_TRUE(lsm->Put(k, ByteSpan(v.data(), v.size())).ok());
+    }
+    // 12 ops with group depth 8: one group synced (ops 1..8), 4 pending.
+    ASSERT_EQ(lsm->last_acked_seq(), 8u);
+    appends_before_sync = lsm->media()->stats().appends;
+  }
+
+  Rig rig;
+  rig.injector.emplace(
+      &rig.engine,
+      sim::FaultPlan().AtQuery(sim::FaultSite::kStoragePowerCut, appends_before_sync),
+      0x5eed);
+  auto lsm = LsmEngine::Format(rig.Deps(), options).value();
+  for (uint64_t k = 0; k < 12; ++k) {
+    Bytes v{static_cast<uint8_t>(k)};
+    ASSERT_TRUE(lsm->Put(k, ByteSpan(v.data(), v.size())).ok());
+  }
+  ASSERT_EQ(lsm->last_acked_seq(), 8u);
+  Status synced = lsm->Sync();  // the cut tears this group's append
+  ASSERT_FALSE(synced.ok());
+  ASSERT_TRUE(lsm->dead());
+
+  lsm.reset();
+  auto reopened = LsmEngine::Open(rig.Deps(), options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  lsm = std::move(reopened).value();
+  // Exactly the acknowledged prefix survives: the torn group held seqs 9..12,
+  // none of which were ever acked.
+  EXPECT_EQ(lsm->recovery().recovered_seq, 8u);
+  for (uint64_t k = 0; k < 12; ++k) {
+    auto got = lsm->Get(k);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got->has_value(), k < 8) << "key " << k;
+  }
+}
+
+TEST(LsmRecoveryTest, SecondPowerCutDuringRecoveryIsSurvivable) {
+  const std::vector<Op> ops = MakeWorkload(0xACDC, 150);
+
+  Rig rig;
+  // Two consecutive faults: the first kills the workload; the second fires at
+  // recovery's own first append (the WAL-truncating flush or rotation), so
+  // the first reopen attempt dies mid-recovery.
+  rig.injector.emplace(&rig.engine,
+                       sim::FaultPlan().AtQuery(sim::FaultSite::kStoragePowerCut, 60, 2),
+                       0x5eed);
+  auto lsm = LsmEngine::Format(rig.Deps(), SmallOptions()).value();
+  const size_t crash_op = DriveOps(*lsm, ops, 0);
+  ASSERT_LT(crash_op, ops.size());
+  const uint64_t acked = lsm->last_acked_seq();
+  lsm.reset();
+
+  auto first_try = LsmEngine::Open(rig.Deps(), SmallOptions());
+  ASSERT_FALSE(first_try.ok()) << "second cut must land during recovery";
+  ASSERT_EQ(first_try.status().code(), StatusCode::kUnavailable);
+
+  auto second_try = LsmEngine::Open(rig.Deps(), SmallOptions());
+  ASSERT_TRUE(second_try.ok()) << second_try.status().ToString();
+  lsm = std::move(second_try).value();
+  ASSERT_GE(lsm->recovery().recovered_seq, acked);
+  ExpectMatchesModel(*lsm, ModelPrefix(ops, lsm->recovery().recovered_seq),
+                     "after double crash");
+
+  ASSERT_EQ(DriveOps(*lsm, ops, lsm->recovery().recovered_seq), ops.size());
+  ASSERT_TRUE(lsm->Sync().ok());
+  ExpectMatchesModel(*lsm, ModelPrefix(ops, ops.size()), "after resume");
+}
+
+TEST(LsmRecoveryTest, CleanReopenIsIdempotent) {
+  const std::vector<Op> ops = MakeWorkload(0x1DEA, 120);
+  Rig rig;
+  auto lsm = LsmEngine::Format(rig.Deps(), SmallOptions()).value();
+  ASSERT_EQ(DriveOps(*lsm, ops, 0), ops.size());
+  ASSERT_TRUE(lsm->Sync().ok());
+  const std::map<uint64_t, Bytes> model = ModelPrefix(ops, ops.size());
+
+  for (int round = 0; round < 3; ++round) {
+    lsm.reset();
+    auto reopened = LsmEngine::Open(rig.Deps(), SmallOptions());
+    ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+    lsm = std::move(reopened).value();
+    EXPECT_EQ(lsm->recovery().recovered_seq, ops.size());
+    EXPECT_EQ(lsm->recovery().wal_torn_groups, 0u);
+    ExpectMatchesModel(*lsm, model, "idempotent reopen");
+  }
+}
+
+}  // namespace
+}  // namespace hyperion::storage

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/common/rng.h"
 #include "src/nvme/controller.h"
 #include "src/nvme/flash.h"
 #include "src/nvme/queue.h"
@@ -522,6 +523,96 @@ TEST_F(ZnsTest, FinishForcesFull) {
 TEST_F(ZnsTest, ZoneSizeMustDivideIntoNamespace) {
   EXPECT_FALSE(ZonedNamespace::Create(&ctrl_, nsid_, 0).ok());
   EXPECT_FALSE(ZonedNamespace::Create(&ctrl_, nsid_, 10000).ok());
+}
+
+TEST_F(ZnsTest, OversizedAppendRejectedWithoutMovingWritePointer) {
+  // 14 of 16 blocks written: a 4-block append cannot fit and must fail whole,
+  // leaving the write pointer where it was — no partial append.
+  Bytes fill = Blocks(14, 10);
+  ASSERT_TRUE(zns_->Append(0, ByteSpan(fill.data(), fill.size())).ok());
+  Bytes big = Blocks(4, 11);
+  auto rejected = zns_->Append(0, ByteSpan(big.data(), big.size()));
+  EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(zns_->Describe(0)->write_pointer, 14u);
+  EXPECT_EQ(zns_->Describe(0)->state, ZoneState::kOpen);
+  // A fitting append still lands, and the exact fill flips the zone to FULL.
+  Bytes fit = Blocks(2, 12);
+  auto lba = zns_->Append(0, ByteSpan(fit.data(), fit.size()));
+  ASSERT_TRUE(lba.ok());
+  EXPECT_EQ(*lba, 14u);
+  EXPECT_EQ(zns_->Describe(0)->state, ZoneState::kFull);
+  Bytes one = Blocks(1, 13);
+  EXPECT_EQ(zns_->Append(0, ByteSpan(one.data(), one.size())).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST_F(ZnsTest, TrailingPartialZoneIsNotAddressable) {
+  // 250 LBAs with 16-LBA zones: 15 whole zones; the trailing 10 LBAs belong
+  // to no zone and must be invisible to the zoned interface.
+  const uint32_t nsid = ctrl_.AddNamespace(250);
+  auto created = ZonedNamespace::Create(&ctrl_, nsid, 16);
+  ASSERT_TRUE(created.ok());
+  ZonedNamespace zns = std::move(*created);
+  EXPECT_EQ(zns.ZoneCount(), 15u);
+  EXPECT_EQ(zns.AddressableLbas(), 240u);
+  EXPECT_EQ(zns.Describe(15).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(zns.Remaining(15).status().code(), StatusCode::kInvalidArgument);
+  // The last whole zone fills to exactly its boundary; nothing spills into
+  // the partial tail.
+  Bytes fill = Blocks(16, 20);
+  ASSERT_TRUE(zns.Append(14, ByteSpan(fill.data(), fill.size())).ok());
+  EXPECT_EQ(zns.Describe(14)->state, ZoneState::kFull);
+  EXPECT_EQ(zns.Describe(14)->write_pointer, 240u);
+  Bytes one = Blocks(1, 21);
+  EXPECT_EQ(zns.Append(14, ByteSpan(one.data(), one.size())).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST_F(ZnsTest, ResetWhileOpenDiscardsWrittenExtent) {
+  Bytes data = Blocks(5, 30);
+  ASSERT_TRUE(zns_->Append(3, ByteSpan(data.data(), data.size())).ok());
+  ASSERT_EQ(zns_->Describe(3)->state, ZoneState::kOpen);
+  ASSERT_TRUE(zns_->Reset(3).ok());
+  EXPECT_EQ(zns_->Describe(3)->state, ZoneState::kEmpty);
+  EXPECT_EQ(zns_->Describe(3)->write_pointer, 48u);
+  // The old extent is gone from the zoned view: reads past the (rewound)
+  // write pointer are rejected even though the media still holds the bytes.
+  EXPECT_EQ(zns_->Read(3, 48, 1).status().code(), StatusCode::kOutOfRange);
+  // The next append restarts at the zone's first LBA.
+  Bytes fresh = Blocks(1, 31);
+  auto lba = zns_->Append(3, ByteSpan(fresh.data(), fresh.size()));
+  ASSERT_TRUE(lba.ok());
+  EXPECT_EQ(*lba, 48u);
+  EXPECT_EQ(*zns_->Read(3, 48, 1), fresh);
+}
+
+TEST_F(ZnsTest, WritePointerInvariantsAcrossMixedAppends) {
+  // Throughout any append sequence: wp - start + Remaining == capacity, the
+  // write pointer never regresses, and state tracks the fill level exactly.
+  hyperion::Rng rng(0x5EED);
+  uint64_t last_wp = zns_->Describe(7)->start_lba;
+  while (true) {
+    auto zone = zns_->Describe(7);
+    ASSERT_TRUE(zone.ok());
+    auto remaining = zns_->Remaining(7);
+    ASSERT_TRUE(remaining.ok());
+    EXPECT_EQ(zone->write_pointer - zone->start_lba + *remaining, zone->capacity_lbas);
+    EXPECT_GE(zone->write_pointer, last_wp);
+    if (*remaining == 0) {
+      EXPECT_EQ(zone->state, ZoneState::kFull);
+      break;
+    }
+    EXPECT_EQ(zone->state, zone->write_pointer == zone->start_lba ? ZoneState::kEmpty
+                                                                  : ZoneState::kOpen);
+    last_wp = zone->write_pointer;
+    const uint32_t blocks =
+        static_cast<uint32_t>(rng.UniformRange(1, std::min<uint64_t>(*remaining, 3)));
+    Bytes data = Blocks(blocks, static_cast<uint8_t>(last_wp));
+    auto lba = zns_->Append(7, ByteSpan(data.data(), data.size()));
+    ASSERT_TRUE(lba.ok());
+    EXPECT_EQ(*lba, last_wp);  // append lands exactly at the old write pointer
+  }
+  EXPECT_EQ(zns_->Remaining(7).value(), 0u);
 }
 
 }  // namespace zns_tests
