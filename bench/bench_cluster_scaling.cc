@@ -20,9 +20,13 @@
 // see EXPERIMENTS.md for how to read the two axes. Generate the JSON with
 //   bench_cluster_scaling --benchmark_format=json > BENCH_PR3.json
 
+#include <array>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <memory>
+#include <new>
 #include <string>
 #include <utility>
 #include <vector>
@@ -33,6 +37,25 @@
 #include "src/dpu/cluster.h"
 #include "src/sim/parallel.h"
 #include "src/sim/time.h"
+
+// Global allocation counter so the ChannelSend rows can report heap
+// allocations per message: the PR-7 fast path relocates small payload
+// closures through EventFn inline storage into pooled event entries, so
+// steady-state sends must show allocs_per_msg == 0.
+std::atomic<uint64_t> g_heap_allocs{0};
+
+void* operator new(std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -264,6 +287,70 @@ void BM_GraphBsp(benchmark::State& state) {
   state.SetLabel("graph/partitions:4/shards:" + std::to_string(shards));
 }
 
+// -- Channel send allocation accounting (PR 7) ------------------------------
+//
+// One registered channel, shard 0 -> shard 1, driven in batches. The
+// `inline` row is the shipped fast path: a 16-byte payload's send closure
+// fits EventFn inline storage and relocates into the destination engine's
+// pooled entry — zero heap allocations per message in steady state. The
+// `boxed` row forces the pre-PR-7 behaviour with a payload too large for
+// inline storage, so every send boxes its closure: the before/after of
+// satellite (a).
+
+struct InlinePayload {
+  uint64_t a = 0;
+  uint64_t b = 0;
+};
+struct BoxedPayload {
+  std::array<uint64_t, 32> words{};  // 256 B > EventFn::kInlineBytes
+};
+
+template <typename Payload>
+void ChannelSendLoop(benchmark::State& state) {
+  sim::ParallelEngineOptions options;
+  options.num_shards = 2;
+  options.use_threads = false;  // alloc accounting, not parallelism
+  sim::ParallelEngine engine(options);
+  const uint32_t src = engine.AddSource(0);
+  uint64_t delivered = 0;
+  sim::Channel<Payload> channel(
+      &engine, src, 1, [&delivered](Payload, sim::SimTime) { ++delivered; });
+
+  constexpr uint64_t kBatch = 4096;
+  const sim::Duration la = engine.lookahead(0, 1);
+  sim::SimTime cursor = 1000;
+  auto run_batch = [&] {
+    engine.shard(0).ScheduleAt(cursor, [&engine, &channel, la] {
+      const sim::SimTime at = engine.shard(0).Now() + la;
+      for (uint64_t i = 0; i < kBatch; ++i) {
+        channel.Send(at + i, Payload{});
+      }
+    });
+    engine.Run();
+    // At quiescence the receiver shard has run ahead of the idle sender;
+    // restart past both clocks so the next batch's sends are in every
+    // shard's future.
+    cursor = std::max(engine.shard(0).Now(), engine.shard(1).Now()) + 10 * la;
+  };
+  run_batch();  // warm up outbox/inbox capacity and the event pools
+
+  const uint64_t allocs_before = g_heap_allocs.load(std::memory_order_relaxed);
+  uint64_t batches = 0;
+  for (auto _ : state) {
+    run_batch();
+    ++batches;
+  }
+  const uint64_t allocs = g_heap_allocs.load(std::memory_order_relaxed) - allocs_before;
+  const uint64_t messages = batches * kBatch;
+  CHECK_EQ(delivered, (batches + 1) * kBatch);
+  state.SetItemsProcessed(static_cast<int64_t>(messages));
+  state.counters["allocs_per_msg"] =
+      messages == 0 ? 0 : static_cast<double>(allocs) / static_cast<double>(messages);
+}
+
+void BM_ChannelSendInline(benchmark::State& state) { ChannelSendLoop<InlinePayload>(state); }
+void BM_ChannelSendBoxed(benchmark::State& state) { ChannelSendLoop<BoxedPayload>(state); }
+
 void RegisterAll() {
   for (int64_t shards : {1, 2, 4, 8}) {
     benchmark::RegisterBenchmark(
@@ -288,6 +375,10 @@ void RegisterAll() {
         ->Iterations(20)
         ->Unit(benchmark::kMillisecond);
   }
+  benchmark::RegisterBenchmark("E11/ChannelSend/inline", BM_ChannelSendInline)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("E11/ChannelSend/boxed", BM_ChannelSendBoxed)
+      ->Unit(benchmark::kMillisecond);
 }
 
 const int kRegistered = (RegisterAll(), 0);

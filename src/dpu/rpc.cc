@@ -130,6 +130,38 @@ size_t RequestPayloadEnd(const BufferChain& frame) {
   return end <= frame.size() ? end : ~size_t{0};
 }
 
+// Reads `n` bytes at `pos` without materializing a sub-chain: the common
+// case lands inside one segment and borrows its bytes; a straddling read
+// assembles into `scratch` (accounted like any buffer-layer copy). The
+// trailer scan runs once per served RPC, so the SubChain+Gather it used to
+// do here (a segment vector plus a gathered Buffer per field) was pure
+// per-request allocator traffic.
+ByteSpan ReadBytesAt(const BufferChain& frame, size_t pos, size_t n, MutableByteSpan scratch) {
+  DCHECK_LE(pos + n, frame.size());
+  DCHECK_LE(n, scratch.size());
+  size_t seg = 0;
+  size_t off = pos;
+  while (off >= frame.segment(seg).size()) {
+    off -= frame.segment(seg).size();
+    ++seg;
+  }
+  const Buffer& first = frame.segment(seg);
+  if (off + n <= first.size()) {
+    return ByteSpan(first.data() + off, n);
+  }
+  size_t got = 0;
+  while (got < n) {
+    const Buffer& cur = frame.segment(seg);
+    const size_t take = std::min(n - got, cur.size() - off);
+    std::memcpy(scratch.data() + got, cur.data() + off, take);
+    got += take;
+    off = 0;
+    ++seg;
+  }
+  AccountBufferCopy(n);
+  return ByteSpan(scratch.data(), n);
+}
+
 // Walks the trailer blocks in whatever order they were appended. An
 // unrecognized magic (or a short block) ends the walk: whatever parsed up
 // to that point stands, matching the pre-PR-5 tolerance for foreign bytes.
@@ -139,13 +171,13 @@ RequestTrailers ScanRequestTrailers(const BufferChain& frame) {
   if (pos == ~size_t{0}) {
     return out;
   }
+  uint8_t scratch_bytes[kTraceTrailerBytes];
+  const MutableByteSpan scratch(scratch_bytes, sizeof(scratch_bytes));
   while (pos + 4 <= frame.size()) {
-    const Buffer magic_bytes = frame.SubChain(pos, 4).Gather();
-    ByteReader magic_reader{magic_bytes.span()};
+    ByteReader magic_reader{ReadBytesAt(frame, pos, 4, scratch)};
     const uint32_t magic = magic_reader.ReadU32();
     if (magic == kTraceTrailerMagic && pos + kTraceTrailerBytes <= frame.size()) {
-      const Buffer block = frame.SubChain(pos + 4, kTraceTrailerBytes - 4).Gather();
-      ByteReader reader{block.span()};
+      ByteReader reader{ReadBytesAt(frame, pos + 4, kTraceTrailerBytes - 4, scratch)};
       obs::TraceContext context;
       context.trace_id = reader.ReadU64();
       context.parent_span = reader.ReadU64();
@@ -154,8 +186,7 @@ RequestTrailers ScanRequestTrailers(const BufferChain& frame) {
       }
       pos += kTraceTrailerBytes;
     } else if (magic == kDeadlineTrailerMagic && pos + kDeadlineTrailerBytes <= frame.size()) {
-      const Buffer block = frame.SubChain(pos + 4, kDeadlineTrailerBytes - 4).Gather();
-      ByteReader reader{block.span()};
+      ByteReader reader{ReadBytesAt(frame, pos + 4, kDeadlineTrailerBytes - 4, scratch)};
       const sim::SimTime deadline = reader.ReadU64();
       if (reader.Ok()) {
         out.deadline = deadline;
@@ -376,7 +407,10 @@ sim::Duration ShardedRpcNode::WireLatency(uint64_t bytes, const ShardedRpcNode& 
 
 void ShardedRpcNode::CallAsync(ShardedRpcNode* peer, const RpcRequest& request,
                                Completion done) {
-  counters_.Increment("rpc_async_calls");
+  if (h_async_calls_ == kUnresolved) [[unlikely]] {
+    h_async_calls_ = counters_.Intern("rpc_async_calls");
+  }
+  counters_.Increment(h_async_calls_);
   BufferChain frame = SerializeRequestFrame(request);
   const sim::SimTime now = engine_->shard(shard_).Now();
   // Latency from the pre-trailer size: trailers are metadata, not modelled
@@ -401,12 +435,18 @@ void ShardedRpcNode::CallAsync(ShardedRpcNode* peer, const RpcRequest& request,
 
 void ShardedRpcNode::ServeFrame(BufferChain frame, ShardedRpcNode* reply_to, Completion done) {
   const sim::SimTime arrival = engine_->shard(shard_).Now();
+  // One trailer walk serves both consumers (trace stitching and the
+  // admission deadline); this path used to scan the frame twice.
+  const bool tracing = obs::kCompiledIn && tracer_ != nullptr && tracer_->enabled();
+  RequestTrailers trailers;
+  if (tracing || admission_ != nullptr) {
+    trailers = ScanRequestTrailers(frame);
+  }
   obs::SpanId serve = 0;
-  if (obs::kCompiledIn && tracer_ != nullptr && tracer_->enabled()) {
+  if (tracing) {
     // Stitch under the caller's span carried in the frame trailer (empty
     // context — a fresh root — when the caller was untraced).
-    serve = tracer_->BeginAsync(obs::Subsystem::kRpc, "rpc.serve", arrival,
-                                ExtractRequestTraceContext(frame));
+    serve = tracer_->BeginAsync(obs::Subsystem::kRpc, "rpc.serve", arrival, trailers.trace);
   }
   RpcResponse response;
   sim::SimTime finish = arrival;
@@ -418,7 +458,7 @@ void ShardedRpcNode::ServeFrame(BufferChain frame, ShardedRpcNode* reply_to, Com
     response = RpcResponse::Fail(InvalidArgument("node has no RPC server"));
   } else {
     if (admission_ != nullptr) {
-      request->deadline = ExtractRequestDeadline(frame);
+      request->deadline = trailers.deadline;
       const sim::AdmissionDecision decision =
           admission_->Decide(arrival, node_clock_->Now(), request->deadline);
       admitted = decision == sim::AdmissionDecision::kAdmit;
@@ -431,7 +471,10 @@ void ShardedRpcNode::ServeFrame(BufferChain frame, ShardedRpcNode* reply_to, Com
         // pipeline (and everything queued behind it) never sees the request.
         finish = arrival + policy_.reject_cost;
       } else {
-        counters_.Increment("rpc_admitted");
+        if (h_admitted_ == kUnresolved) [[unlikely]] {
+          h_admitted_ = counters_.Intern("rpc_admitted");
+        }
+        counters_.Increment(h_admitted_);
       }
     }
     if (admitted) {
@@ -441,7 +484,10 @@ void ShardedRpcNode::ServeFrame(BufferChain frame, ShardedRpcNode* reply_to, Com
       if (node_clock_->Now() < arrival) {
         node_clock_->AdvanceTo(arrival);
       } else {
-        counters_.Add("rpc_async_queued_ns", node_clock_->Now() - arrival);
+        if (h_queued_ns_ == kUnresolved) [[unlikely]] {
+          h_queued_ns_ = counters_.Intern("rpc_async_queued_ns");
+        }
+        counters_.Add(h_queued_ns_, node_clock_->Now() - arrival);
       }
       response = server_->Dispatch(*request, tracer_ != nullptr ? tracer_->ContextOf(serve)
                                                                 : obs::TraceContext{});
@@ -451,7 +497,10 @@ void ShardedRpcNode::ServeFrame(BufferChain frame, ShardedRpcNode* reply_to, Com
       }
     }
   }
-  counters_.Increment("rpc_async_served");
+  if (h_async_served_ == kUnresolved) [[unlikely]] {
+    h_async_served_ = counters_.Intern("rpc_async_served");
+  }
+  counters_.Increment(h_async_served_);
   if (tracer_ != nullptr) {
     tracer_->End(serve, finish);
   }

@@ -302,6 +302,13 @@ class ShardedRpcNode {
   RpcOverloadPolicy policy_;
   std::unique_ptr<sim::AdmissionController> admission_;
   sim::Counters counters_;
+  // Hot-path counter slots, interned lazily at first bump so untouched
+  // counters never appear in Snapshot() (keeps report output unchanged).
+  static constexpr sim::Counters::Handle kUnresolved = ~sim::Counters::Handle{0};
+  sim::Counters::Handle h_async_calls_ = kUnresolved;
+  sim::Counters::Handle h_async_served_ = kUnresolved;
+  sim::Counters::Handle h_admitted_ = kUnresolved;
+  sim::Counters::Handle h_queued_ns_ = kUnresolved;
 };
 
 }  // namespace hyperion::dpu

@@ -78,8 +78,12 @@ Completion Controller::Execute(const Command& cmd) {
                                MutableByteSpan(cqe.data.data() + static_cast<size_t>(i) * kLbaSize,
                                                kLbaSize)));
       }
-      counters_.Add("nvme_reads", 1);
-      counters_.Add("nvme_read_bytes", static_cast<uint64_t>(blocks) * kLbaSize);
+      if (h_reads_ == kUnresolved) [[unlikely]] {
+        h_reads_ = counters_.Intern("nvme_reads");
+        h_read_bytes_ = counters_.Intern("nvme_read_bytes");
+      }
+      counters_.Increment(h_reads_);
+      counters_.Add(h_read_bytes_, static_cast<uint64_t>(blocks) * kLbaSize);
       break;
     }
     case Opcode::kWrite: {
@@ -106,14 +110,20 @@ Completion Controller::Execute(const Command& cmd) {
       // written straight from the caller's buffer; only a block straddling
       // segment boundaries assembles through scratch.
       ChainReader reader(cmd.data);
-      Bytes scratch(kLbaSize);
+      if (write_scratch_.size() != kLbaSize) {
+        write_scratch_.resize(kLbaSize);
+      }
       for (uint32_t i = 0; i < blocks; ++i) {
-        ByteSpan block = reader.Next(kLbaSize, MutableByteSpan(scratch));
+        ByteSpan block = reader.Next(kLbaSize, MutableByteSpan(write_scratch_));
         CHECK(reader.ok());
         CHECK_OK(ns->WriteBlock(cmd.slba + i, block));
       }
-      counters_.Add("nvme_writes", 1);
-      counters_.Add("nvme_write_bytes", static_cast<uint64_t>(blocks) * kLbaSize);
+      if (h_writes_ == kUnresolved) [[unlikely]] {
+        h_writes_ = counters_.Intern("nvme_writes");
+        h_write_bytes_ = counters_.Intern("nvme_write_bytes");
+      }
+      counters_.Increment(h_writes_);
+      counters_.Add(h_write_bytes_, static_cast<uint64_t>(blocks) * kLbaSize);
       break;
     }
     case Opcode::kFlush:
@@ -188,8 +198,12 @@ Status Controller::RingDoorbell(uint16_t qid) {
   }
   // One MMIO doorbell write publishes the whole batch: the per-ring cost is
   // paid once, however many SQEs ride it.
-  counters_.Add("nvme_doorbells", 1);
-  counters_.Add("nvme_doorbell_sqes", staged.size());
+  if (h_doorbells_ == kUnresolved) [[unlikely]] {
+    h_doorbells_ = counters_.Intern("nvme_doorbells");
+    h_doorbell_sqes_ = counters_.Intern("nvme_doorbell_sqes");
+  }
+  counters_.Increment(h_doorbells_);
+  counters_.Add(h_doorbell_sqes_, staged.size());
   engine_->Advance(doorbell_cost_);
   auto& sq = queues_[qid - 1]->sq;
   size_t pushed = 0;

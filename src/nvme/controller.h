@@ -130,6 +130,18 @@ class Controller {
   uint32_t retry_limit_ = 3;
   sim::Duration command_timeout_ = 5 * sim::kMillisecond;
   sim::Counters counters_;
+  // Reused 1-block staging buffer for writes whose SG chain straddles a
+  // segment boundary (was a fresh zeroed 4 KiB heap block per command).
+  Bytes write_scratch_;
+  // Hot-path counter slots, interned lazily at first bump so untouched
+  // counters never appear in Snapshot().
+  static constexpr sim::Counters::Handle kUnresolved = ~sim::Counters::Handle{0};
+  sim::Counters::Handle h_reads_ = kUnresolved;
+  sim::Counters::Handle h_read_bytes_ = kUnresolved;
+  sim::Counters::Handle h_writes_ = kUnresolved;
+  sim::Counters::Handle h_write_bytes_ = kUnresolved;
+  sim::Counters::Handle h_doorbells_ = kUnresolved;
+  sim::Counters::Handle h_doorbell_sqes_ = kUnresolved;
 };
 
 }  // namespace hyperion::nvme

@@ -159,10 +159,10 @@ void ImportEngineStats(MetricsRegistry* registry, const sim::EngineStats& stats)
   registry->Add(Subsystem::kEngine, "scheduled", stats.scheduled);
   registry->Add(Subsystem::kEngine, "wheel_scheduled", stats.wheel_scheduled);
   registry->Add(Subsystem::kEngine, "heap_scheduled", stats.heap_scheduled);
-  registry->Add(Subsystem::kEngine, "heap_migrated", stats.heap_migrated);
   registry->Add(Subsystem::kEngine, "inline_callbacks", stats.inline_callbacks);
   registry->Add(Subsystem::kEngine, "boxed_callbacks", stats.boxed_callbacks);
   registry->Add(Subsystem::kEngine, "pool_slabs", stats.pool_slabs);
+  registry->Add(Subsystem::kEngine, "messages_scheduled", stats.messages_scheduled);
 }
 
 void ImportParallelStats(MetricsRegistry* registry, const sim::ParallelEngineStats& stats) {
@@ -171,6 +171,9 @@ void ImportParallelStats(MetricsRegistry* registry, const sim::ParallelEngineSta
   registry->Add(Subsystem::kEngine, "messages", stats.messages);
   registry->Add(Subsystem::kEngine, "cross_shard_messages", stats.cross_shard_messages);
   registry->Add(Subsystem::kEngine, "max_outbox", stats.max_outbox);
+  registry->Add(Subsystem::kEngine, "self_delivered", stats.self_delivered);
+  registry->Add(Subsystem::kEngine, "windows_run", stats.windows_run);
+  registry->Add(Subsystem::kEngine, "windows_skipped", stats.windows_skipped);
 }
 
 }  // namespace hyperion::obs

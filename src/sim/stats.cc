@@ -106,6 +106,16 @@ std::string Histogram::SummaryNs() const {
   return os.str();
 }
 
+Counters::Handle Counters::Intern(const std::string& name) {
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].first == name) {
+      return static_cast<Handle>(i);
+    }
+  }
+  entries_.emplace_back(name, 0);
+  return static_cast<Handle>(entries_.size() - 1);
+}
+
 void Counters::Add(const std::string& name, uint64_t delta) {
   for (auto& [k, v] : entries_) {
     if (k == name) {

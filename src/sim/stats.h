@@ -51,6 +51,16 @@ class Histogram {
 // Named monotonic counters, used for hop/byte/op accounting in experiments.
 class Counters {
  public:
+  // Interned counter slot: resolve the name once at setup, then bump by
+  // index with no per-event string compares (the by-name Add below scans
+  // the linear map on every call, which showed up in the per-request RPC
+  // and NVMe paths). Handles are invalidated by Reset().
+  using Handle = uint32_t;
+  Handle Intern(const std::string& name);
+
+  void Add(Handle handle, uint64_t delta) { entries_[handle].second += delta; }
+  void Increment(Handle handle) { Add(handle, 1); }
+
   void Add(const std::string& name, uint64_t delta);
   void Increment(const std::string& name) { Add(name, 1); }
   uint64_t Get(const std::string& name) const;

@@ -147,6 +147,44 @@ TEST(ParallelEngineTest, StatsCountEpochsAndLargestExchange) {
   EXPECT_EQ(engine.stats().events_run, 10u);
 }
 
+TEST(ParallelEngineTest, SingleShardStatsStayDegenerate) {
+  // The sharding machinery must cost (and count) nothing when there is
+  // nothing to shard: one window covers the whole run, every Post
+  // self-delivers without staging, and the exchange counters stay zero —
+  // with and without the worker-thread path requested.
+  for (const bool threads : {false, true}) {
+    SCOPED_TRACE(threads ? "use_threads=true" : "use_threads=false");
+    ParallelEngine engine(Options(1, threads));
+    const uint32_t src = engine.AddSource(0);
+    int fired = 0;
+    for (SimTime t = 100; t <= 1000; t += 100) {
+      engine.Post(src, 0, t, [&fired] { ++fired; });
+    }
+    engine.shard(0).ScheduleAt(50, [&fired] { ++fired; });  // plain local event
+    EXPECT_EQ(engine.Run(), 11u);
+    EXPECT_EQ(fired, 11);
+    const ParallelEngineStats& stats = engine.stats();
+    EXPECT_EQ(stats.epochs, 1u);
+    EXPECT_EQ(stats.windows_run, 1u);
+    EXPECT_EQ(stats.windows_skipped, 0u);
+    EXPECT_EQ(stats.max_outbox, 0u);
+    EXPECT_EQ(stats.cross_shard_messages, 0u);
+    EXPECT_EQ(stats.self_delivered, 10u);
+    EXPECT_EQ(stats.messages, 10u);
+    EXPECT_EQ(stats.events_run, 11u);
+  }
+}
+
+TEST(ParallelEngineTest, PerPairLookaheadIsDirectional) {
+  // Declaring a slow link one way must not narrow the other direction's
+  // windows: the per-pair matrix keeps each directed edge's lookahead.
+  ParallelEngine engine(Options(2, false));
+  engine.DeclareLinkLatency(0, 1, 5000);
+  EXPECT_EQ(engine.lookahead(0, 1), 5000u);
+  EXPECT_EQ(engine.lookahead(1, 0), 100u);  // floor: no declared link
+  EXPECT_EQ(engine.lookahead(), 5000u);     // global = min over *declared* links
+}
+
 TEST(ParallelEngineTest, MessagesPostedFromEventsRespectLookahead) {
   // A message posted *during* a window lands at least lookahead later and
   // still executes at exactly its requested virtual time.

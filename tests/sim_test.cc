@@ -345,7 +345,7 @@ TEST(EngineFastPathTest, AllOptionPermutationsExecuteIdentically) {
   EXPECT_EQ(RunMixedWorkload(tiny), golden);
 }
 
-TEST(EngineFastPathTest, HeapOverflowMigratesIntoWheel) {
+TEST(EngineFastPathTest, HeapOverflowInterleavesWithWheelInOrder) {
   Engine engine;  // defaults: wheel on, ~4.2 ms horizon
   std::vector<int> order;
   engine.ScheduleAfter(10'000'000, [&] { order.push_back(100); });  // past the horizon
@@ -353,31 +353,51 @@ TEST(EngineFastPathTest, HeapOverflowMigratesIntoWheel) {
     engine.ScheduleAfter(i * 1'000'000, [&order, i] { order.push_back(i); });
   }
   // Horizon is 1024 x 4096 ns ~= 4.19 ms: 1-4 ms are wheel-eligible, the
-  // rest (5-9 ms and the 10 ms target) overflow to the heap.
+  // rest (5-9 ms and the 10 ms target) overflow to the heap. Extraction
+  // compares the wheel front against the heap top by full key, so overflow
+  // events execute in exact global order without migrating containers.
   EXPECT_EQ(engine.stats().wheel_scheduled, 4u);
   EXPECT_EQ(engine.stats().heap_scheduled, 6u);
   EXPECT_EQ(engine.Run(), 10u);
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5, 6, 7, 8, 9, 100}));
-  // Every overflow event entered the wheel once virtual time got close.
-  EXPECT_EQ(engine.stats().heap_migrated, 6u);
 }
 
 TEST(EngineFastPathTest, RunUntilWithPooledEvents) {
   Engine engine(EngineOptions{.pool_events = true});
   int fired = 0;
-  // Two waves through the same pool: release + reuse across RunUntil calls.
+  // Big non-entry-inline captures force the overflow-node path; two waves
+  // through the same pool pin release + reuse across RunUntil calls.
+  struct Fat {
+    int* fired;
+    char pad[Engine::kEntryInlineBytes];
+  };
+  const Fat fat{&fired, {}};
   for (int i = 0; i < 100; ++i) {
-    engine.ScheduleAfter(10 + i, [&] { ++fired; });
+    engine.ScheduleAfter(10 + i, [fat] { ++*fat.fired; });
   }
   EXPECT_EQ(engine.RunUntil(59), 50u);
   for (int i = 0; i < 100; ++i) {
-    engine.ScheduleAfter(1'000 + i, [&] { ++fired; });
+    engine.ScheduleAfter(1'000 + i, [fat] { ++*fat.fired; });
   }
   EXPECT_EQ(engine.RunUntil(10'000), 150u);
   EXPECT_EQ(fired, 200);
   EXPECT_TRUE(engine.Empty());
-  // Steady-state slab reuse: 200 events fit the first slab.
+  // Steady-state slab reuse: 200 in-flight node events fit the first slab.
   EXPECT_EQ(engine.stats().pool_slabs, 1u);
+}
+
+TEST(EngineFastPathTest, SmallTrivialCallbacksNeverTouchThePool) {
+  Engine engine(EngineOptions{.pool_events = true});
+  int fired = 0;
+  for (int i = 0; i < 1000; ++i) {
+    engine.ScheduleAfter(10 + i, [&fired] { ++fired; });
+  }
+  EXPECT_EQ(engine.Run(), 1000u);
+  EXPECT_EQ(fired, 1000);
+  // Small trivially copyable captures live inside the 64-byte ready-queue
+  // entry itself: no overflow node, so no slab is ever allocated.
+  EXPECT_EQ(engine.stats().pool_slabs, 0u);
+  EXPECT_EQ(engine.stats().inline_callbacks, 1000u);
 }
 
 TEST(EngineFastPathTest, StatsClassifyCallbacks) {
@@ -388,7 +408,7 @@ TEST(EngineFastPathTest, StatsClassifyCallbacks) {
     int* sink;
     char pad[EventFn::kInlineBytes];
   } big{&sink, {}};
-  engine.ScheduleAfter(2, [big] { ++*big.sink; });  // > 48 bytes: boxed
+  engine.ScheduleAfter(2, [big] { ++*big.sink; });  // > kInlineBytes: boxed
   EXPECT_EQ(engine.stats().inline_callbacks, 1u);
   EXPECT_EQ(engine.stats().boxed_callbacks, 1u);
   engine.Run();
@@ -402,7 +422,7 @@ TEST(EventFnTest, InlineAndBoxedBothInvoke) {
   small();
   struct Huge {
     int* calls;
-    char pad[64];
+    char pad[EventFn::kInlineBytes];
   } huge{&calls, {}};
   EventFn big([huge] { ++*huge.calls; });
   EXPECT_FALSE(big.is_inline());
@@ -414,6 +434,74 @@ TEST(EventFnTest, InlineAndBoxedBothInvoke) {
   moved();
   EXPECT_EQ(calls, 3);
   EXPECT_FALSE(static_cast<bool>(big));  // NOLINT(bugprone-use-after-move)
+}
+
+TEST(EngineFastPathTest, SameTimeFifoHoldsAcrossSlotGeometries) {
+  // Property: at equal timestamps execution order is insertion order, for
+  // every storage path an entry can take — calendar region, spill past
+  // kSlotCap, over-horizon heap, the drain-slot express lane, and plain
+  // heap with the wheel disabled. A tiny wheel (4 slots x 64 ns) plus many
+  // colliding timestamps forces all of them.
+  const EngineOptions geometries[] = {
+      {},                                                              // defaults
+      {.slot_shift = 6, .slot_count = 4},                              // spill + heap
+      {.use_timing_wheel = false},                                     // pure heap
+      {.pool_events = false, .slot_shift = 6, .slot_count = 4},        // no pool
+  };
+  for (const EngineOptions& options : geometries) {
+    Engine engine(options);
+    std::vector<std::pair<SimTime, int>> order;
+    uint64_t state = 12345;
+    int id = 0;
+    for (int i = 0; i < 500; ++i) {
+      state = state * 6364136223846793005ull + 1442695040888963407ull;
+      const SimTime when = 10 + (state >> 33) % 40;  // heavy same-time collisions
+      engine.ScheduleAt(when, [&order, when, my = id++] { order.push_back({when, my}); });
+    }
+    // Same-time follow-ups from inside callbacks (the express-lane shape):
+    // each must run after every already-pending event at its timestamp.
+    // The follow-up's id is taken when it is scheduled (mid-run), so ids
+    // track seq assignment order globally.
+    for (SimTime when : {SimTime{15}, SimTime{25}}) {
+      engine.ScheduleAt(when, [&order, &engine, &id, when, my = id++] {
+        order.push_back({when, my});
+        engine.ScheduleAt(when, [&order, when, my2 = id++] { order.push_back({when, my2}); });
+      });
+    }
+    EXPECT_EQ(engine.Run(), 504u);
+    ASSERT_EQ(order.size(), 504u);
+    for (size_t i = 1; i < order.size(); ++i) {
+      EXPECT_LE(order[i - 1].first, order[i].first) << "time order violated at " << i;
+      if (order[i - 1].first == order[i].first) {
+        EXPECT_LT(order[i - 1].second, order[i].second) << "FIFO violated at " << i;
+      }
+    }
+  }
+}
+
+TEST(EngineFastPathTest, PoolExhaustionGrowsOnceAndReuses) {
+  // 1000 node-path events need ceil(1000/256) = 4 slabs; a second wave of
+  // the same size must reuse the freed nodes and allocate nothing new.
+  Engine engine(EngineOptions{.pool_events = true});
+  struct Fat {
+    int* fired;
+    char pad[Engine::kEntryInlineBytes];  // too big for entry-inline storage
+  };
+  int fired = 0;
+  auto wave = [&engine, &fired](SimTime base) {
+    for (int i = 0; i < 1000; ++i) {
+      Fat fat{&fired, {}};
+      engine.ScheduleAt(base + i, [fat] { ++*fat.fired; });
+    }
+  };
+  wave(10);
+  EXPECT_EQ(engine.Run(), 1000u);
+  const uint64_t slabs_after_first = engine.stats().pool_slabs;
+  EXPECT_EQ(slabs_after_first, 4u);
+  wave(engine.Now() + 10);
+  EXPECT_EQ(engine.Run(), 1000u);
+  EXPECT_EQ(fired, 2000);
+  EXPECT_EQ(engine.stats().pool_slabs, slabs_after_first) << "pool did not reuse freed nodes";
 }
 
 TEST(EngineFastPathTest, DestructorReleasesPendingEvents) {

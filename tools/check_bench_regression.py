@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench_engine run against a committed baseline.
+
+Usage:
+    check_bench_regression.py --baseline bench/BENCH_PR7.json \
+        --current bench_smoke.json [--tolerance 0.20]
+
+Both files are google-benchmark --benchmark_format=json output. For every
+benchmark name present in BOTH files that reports items_per_second, the
+current run must be no more than `tolerance` (default 20%) below the
+baseline. Benchmarks only present on one side are ignored (CI smoke runs
+use --benchmark_filter, and the committed baseline may carry extra rows).
+
+CI machines are noisy and slower than the machine the baseline was recorded
+on, so absolute throughput comparisons across machines are meaningless. The
+check self-normalises instead: the best current/baseline ratio across the
+common benchmarks estimates this machine's pace relative to the baseline
+machine, and every benchmark must land within `tolerance` of that pace. A
+uniformly slower machine passes; a single benchmark that collapsed relative
+to its peers (an accidental O(n^2) in the hot loop, a debug build sneaking
+into CI) fails.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_items_per_second(path):
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for b in data.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev) from --benchmark_repetitions.
+        if b.get("run_type") == "aggregate":
+            continue
+        ips = b.get("items_per_second")
+        if ips is not None and ips > 0:
+            # With --benchmark_repetitions the same name appears N times;
+            # keep the best repetition. Noise on shared CI machines is
+            # one-sided (a run can only be slowed down, never sped up past
+            # the code's real ceiling), so best-of-N estimates that ceiling.
+            name = b["name"]
+            out[name] = max(out.get(name, 0.0), float(ips))
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--current", required=True)
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed fractional drop after normalisation")
+    args = parser.parse_args()
+
+    baseline = load_items_per_second(args.baseline)
+    current = load_items_per_second(args.current)
+    common = sorted(set(baseline) & set(current))
+    if not common:
+        print("check_bench_regression: no common benchmarks between "
+              f"{args.baseline} and {args.current}", file=sys.stderr)
+        return 1
+
+    # Self-normalise: the median current/baseline ratio estimates this
+    # machine's speed relative to the baseline machine (median, not max, so
+    # one lucky benchmark cannot tighten the floor for all the others).
+    # Every benchmark must then be within `tolerance` of that pace — a
+    # uniform slowdown passes, a benchmark that regressed relative to its
+    # peers fails.
+    ratios = {name: current[name] / baseline[name] for name in common}
+    ordered = sorted(ratios.values())
+    pace = ordered[len(ordered) // 2]
+    floor = pace * (1.0 - args.tolerance)
+
+    failed = []
+    print(f"{'benchmark':50s} {'baseline':>12s} {'current':>12s} {'ratio':>7s}")
+    for name in common:
+        mark = ""
+        if ratios[name] < floor:
+            failed.append(name)
+            mark = "  <-- REGRESSION"
+        print(f"{name:50s} {baseline[name]:12.3e} {current[name]:12.3e} "
+              f"{ratios[name]:7.3f}{mark}")
+    print(f"machine pace (median ratio): {pace:.3f}; "
+          f"floor at tolerance {args.tolerance:.0%}: {floor:.3f}")
+
+    if failed:
+        print(f"check_bench_regression: {len(failed)} benchmark(s) regressed "
+              f">{args.tolerance:.0%} vs peers: {', '.join(failed)}",
+              file=sys.stderr)
+        return 1
+    print(f"check_bench_regression: OK ({len(common)} benchmarks compared)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
