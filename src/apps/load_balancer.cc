@@ -43,7 +43,8 @@ Backend BackendFromBytes(ByteSpan data) {
 
 Result<std::unique_ptr<LoadBalancer>> LoadBalancer::Create(dpu::Hyperion* dpu,
                                                            std::vector<Backend> backends,
-                                                           uint32_t resident_capacity) {
+                                                           uint32_t resident_capacity,
+                                                           uint32_t spill_buckets) {
   if (!dpu->booted()) {
     return Unavailable("boot the DPU first");
   }
@@ -53,12 +54,15 @@ Result<std::unique_ptr<LoadBalancer>> LoadBalancer::Create(dpu::Hyperion* dpu,
   if (resident_capacity == 0) {
     return InvalidArgument("resident capacity must be positive");
   }
+  if (spill_buckets == 0) {
+    return InvalidArgument("spill tier needs at least one bucket");
+  }
   auto lb = std::unique_ptr<LoadBalancer>(
       new LoadBalancer(dpu, std::move(backends), resident_capacity));
   lb->RebuildRing();
   // Spill tier: value = 6-byte backend; fixed 13-byte FlowKey keys.
   ASSIGN_OR_RETURN(storage::HashIndex spill,
-                   storage::HashIndex::Create(&dpu->store(), kSpillIndexId, 256));
+                   storage::HashIndex::Create(&dpu->store(), kSpillIndexId, spill_buckets));
   lb->spill_ = std::make_unique<storage::HashIndex>(std::move(spill));
   return lb;
 }
@@ -125,9 +129,12 @@ Result<Backend> LoadBalancer::Route(const Packet& packet) {
     return backend;
   }
 
-  // Flash tier probe.
+  // Flash tier probe. A pure SYN is a brand-new connection: it cannot have
+  // been spilled, so skip the flash read and go straight to placement.
+  const bool fresh_syn = (packet.tcp_flags & kTcpSyn) != 0 && !teardown;
   Bytes key_bytes = key.Serialize();
-  Result<Bytes> spilled = spill_->Get(ByteSpan(key_bytes.data(), key_bytes.size()));
+  Result<Bytes> spilled = fresh_syn ? Result<Bytes>(NotFound("fresh SYN"))
+                                    : spill_->Get(ByteSpan(key_bytes.data(), key_bytes.size()));
   if (spilled.ok()) {
     ++stats_.spill_hits;
     const Backend backend = BackendFromBytes(ByteSpan(spilled->data(), spilled->size()));

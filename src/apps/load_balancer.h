@@ -46,10 +46,15 @@ struct LoadBalancerStats {
 
 class LoadBalancer {
  public:
-  // `resident_capacity` bounds the DRAM-tier flow table.
+  // `resident_capacity` bounds the DRAM-tier flow table. `spill_buckets`
+  // sizes the flash tier's fixed hash directory: leave the default for
+  // middleware-scale tests, raise it when the spill tier must absorb
+  // millions of flows without deep overflow chains (the PR 8 ingress
+  // pipeline passes ~2 * expected_flows / 100).
   static Result<std::unique_ptr<LoadBalancer>> Create(dpu::Hyperion* dpu,
                                                       std::vector<Backend> backends,
-                                                      uint32_t resident_capacity);
+                                                      uint32_t resident_capacity,
+                                                      uint32_t spill_buckets = 256);
 
   // Routes one packet; FIN/RST tear the flow state down.
   Result<Backend> Route(const Packet& packet);
@@ -59,6 +64,8 @@ class LoadBalancer {
 
   const LoadBalancerStats& stats() const { return stats_; }
   size_t ResidentFlows() const { return resident_.size(); }
+  // Flash-tier directory health (chain depth, occupancy).
+  const storage::HashIndex& spill() const { return *spill_; }
 
  private:
   LoadBalancer(dpu::Hyperion* dpu, std::vector<Backend> backends, uint32_t resident_capacity)

@@ -159,6 +159,28 @@ Result<Bytes> ObjectStore::Read(SegmentId id, uint64_t offset, uint64_t length) 
   return Internal("bad location");
 }
 
+Status ObjectStore::ReadInto(SegmentId id, uint64_t offset, MutableByteSpan out) {
+  engine_->Advance(SegmentTable::kLookupCost);
+  counters_.Increment("translations");
+  ++access_counts_[id];
+  ASSIGN_OR_RETURN(Segment seg, table_.Lookup(id));
+  if (offset + out.size() > seg.size) {
+    return OutOfRange("read past end of segment");
+  }
+  switch (seg.location) {
+    case Location::kDram:
+      return dram_.Read(seg.base + offset, out);
+    case Location::kHbm:
+      return hbm_.Read(seg.base + offset, out);
+    case Location::kNvme: {
+      ASSIGN_OR_RETURN(Bytes data, ReadNvme(seg, offset, out.size()));
+      std::copy(data.begin(), data.end(), out.begin());
+      return Status::Ok();
+    }
+  }
+  return Internal("bad location");
+}
+
 Status ObjectStore::WriteNvme(const Segment& seg, uint64_t offset, ByteSpan data) {
   // Read-modify-write of the covering LBA range.
   const uint64_t first_lba = seg.base + offset / nvme::kLbaSize;

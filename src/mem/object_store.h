@@ -51,6 +51,10 @@ class ObjectStore {
 
   Status Write(SegmentId id, uint64_t offset, ByteSpan data);
   Result<Bytes> Read(SegmentId id, uint64_t offset, uint64_t length);
+  // Read into a caller-owned buffer (`out.size()` bytes at `offset`):
+  // allocation-free for DRAM/HBM segments, which is what lets per-packet
+  // index probes run without a heap allocation per access.
+  Status ReadInto(SegmentId id, uint64_t offset, MutableByteSpan out);
 
   // Moves a segment's backing to `target`, copying its contents.
   Status Migrate(SegmentId id, Location target);

@@ -1,59 +1,31 @@
 #include "src/storage/hash_index.h"
 
+#include <algorithm>
 #include <bit>
+#include <cstring>
 
 #include "src/common/check.h"
 
 namespace hyperion::storage {
 
-struct HashIndex::Bucket {
-  std::vector<std::pair<Bytes, Bytes>> entries;
-  uint64_t overflow = 0;  // 0 = none
+namespace {
 
-  size_t SerializedSize() const {
-    size_t n = 4 + 8;
-    for (const auto& [k, v] : entries) {
-      n += 8 + k.size() + v.size();
-    }
-    return n;
-  }
+inline uint32_t LoadU32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
 
-  Bytes Serialize() const {
-    Bytes out;
-    PutU32(out, static_cast<uint32_t>(entries.size()));
-    PutU64(out, overflow);
-    for (const auto& [k, v] : entries) {
-      PutU32(out, static_cast<uint32_t>(k.size()));
-      PutBytes(out, ByteSpan(k.data(), k.size()));
-      PutU32(out, static_cast<uint32_t>(v.size()));
-      PutBytes(out, ByteSpan(v.data(), v.size()));
-    }
-    CHECK_LE(out.size(), kBucketBytes);
-    return out;
-  }
+inline uint64_t LoadU64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
 
-  static Result<Bucket> Deserialize(ByteSpan data) {
-    ByteReader reader(data);
-    Bucket bucket;
-    const uint32_t count = reader.ReadU32();
-    bucket.overflow = reader.ReadU64();
-    if (count > kBucketBytes / 9) {
-      return DataLoss("implausible bucket entry count");
-    }
-    bucket.entries.reserve(count);
-    for (uint32_t i = 0; i < count; ++i) {
-      const uint32_t klen = reader.ReadU32();
-      Bytes key = reader.ReadBytes(klen);
-      const uint32_t vlen = reader.ReadU32();
-      Bytes value = reader.ReadBytes(vlen);
-      if (!reader.Ok()) {
-        return DataLoss("torn hash bucket");
-      }
-      bucket.entries.emplace_back(std::move(key), std::move(value));
-    }
-    return bucket;
-  }
-};
+inline void StoreU32(uint8_t* p, uint32_t v) { std::memcpy(p, &v, sizeof(v)); }
+inline void StoreU64(uint8_t* p, uint64_t v) { std::memcpy(p, &v, sizeof(v)); }
+
+}  // namespace
 
 Result<HashIndex> HashIndex::Create(mem::ObjectStore* store, uint64_t index_id, uint32_t buckets,
                                     mem::SegmentHints hints) {
@@ -63,10 +35,13 @@ Result<HashIndex> HashIndex::Create(mem::ObjectStore* store, uint64_t index_id, 
   const uint32_t rounded = std::bit_ceil(buckets);
   HashIndex index(store, index_id, rounded, hints);
   index.next_overflow_id_ = rounded;
-  Bucket empty;
+  index.chain_len_.assign(rounded, 1);
+  index.scratch_.assign(kBucketBytes, 0);
+  Bytes empty(kHeaderBytes, 0);
   for (uint32_t b = 0; b < rounded; ++b) {
     RETURN_IF_ERROR(store->CreateWithId(index.BucketSegment(b), kBucketBytes, hints));
-    RETURN_IF_ERROR(index.WriteBucket(b, empty));
+    RETURN_IF_ERROR(
+        store->Write(index.BucketSegment(b), 0, ByteSpan(empty.data(), empty.size())));
   }
   return index;
 }
@@ -75,87 +50,208 @@ mem::SegmentId HashIndex::BucketSegment(uint64_t bucket_id) const {
   return mem::SegmentId(0x4A54000000000000ull | index_id_, bucket_id);
 }
 
-Result<HashIndex::Bucket> HashIndex::ReadBucket(uint64_t bucket_id) {
+Status HashIndex::ReadRaw(uint64_t bucket_id) {
   ++bucket_reads_;
-  ASSIGN_OR_RETURN(Bytes raw, store_->Read(BucketSegment(bucket_id), 0, kBucketBytes));
-  return Bucket::Deserialize(ByteSpan(raw.data(), raw.size()));
+  scratch_.resize(kBucketBytes);
+  return store_->ReadInto(BucketSegment(bucket_id), 0,
+                          MutableByteSpan(scratch_.data(), scratch_.size()));
 }
 
-Status HashIndex::WriteBucket(uint64_t bucket_id, const Bucket& bucket) {
-  Bytes raw = bucket.Serialize();
-  raw.resize(kBucketBytes, 0);
-  return store_->Write(BucketSegment(bucket_id), 0, ByteSpan(raw.data(), raw.size()));
+Result<HashIndex::Scan> HashIndex::ScanBucket(ByteSpan raw, ByteSpan key) {
+  if (raw.size() < kHeaderBytes) {
+    return DataLoss("short hash bucket");
+  }
+  Scan scan;
+  scan.count = LoadU32(raw.data());
+  scan.overflow = LoadU64(raw.data() + 4);
+  if (scan.count > kBucketBytes / 9) {
+    return DataLoss("implausible bucket entry count");
+  }
+  size_t off = kHeaderBytes;
+  for (uint32_t i = 0; i < scan.count; ++i) {
+    if (off + 4 > raw.size()) {
+      return DataLoss("torn hash bucket");
+    }
+    const uint32_t klen = LoadU32(raw.data() + off);
+    const size_t key_off = off + 4;
+    if (key_off + klen + 4 > raw.size()) {
+      return DataLoss("torn hash bucket");
+    }
+    const uint32_t vlen = LoadU32(raw.data() + key_off + klen);
+    const size_t value_off = key_off + klen + 4;
+    if (value_off + vlen > raw.size()) {
+      return DataLoss("torn hash bucket");
+    }
+    if (!scan.found && klen == key.size() &&
+        std::memcmp(raw.data() + key_off, key.data(), klen) == 0) {
+      scan.found = true;
+      scan.entry_off = off;
+      scan.value_off = value_off;
+      scan.value_len = vlen;
+    }
+    off = value_off + vlen;
+  }
+  scan.end = off;
+  return scan;
 }
 
 Result<uint64_t> HashIndex::AllocateOverflow() {
   const uint64_t id = next_overflow_id_++;
   RETURN_IF_ERROR(store_->CreateWithId(BucketSegment(id), kBucketBytes, hints_));
-  RETURN_IF_ERROR(WriteBucket(id, Bucket{}));
+  Bytes empty(kHeaderBytes, 0);
+  RETURN_IF_ERROR(store_->Write(BucketSegment(id), 0, ByteSpan(empty.data(), empty.size())));
   return id;
+}
+
+void HashIndex::NoteChainGrowth(uint64_t root_bucket) {
+  CHECK_LT(root_bucket, chain_len_.size());
+  max_chain_ = std::max(max_chain_, ++chain_len_[root_bucket]);
 }
 
 Status HashIndex::Put(ByteSpan key, ByteSpan value) {
   if (key.empty() || value.size() > kMaxValueLen) {
     return InvalidArgument("bad key/value size");
   }
-  uint64_t bucket_id = Fnv1a64(key) & (bucket_count_ - 1);
+  const uint64_t root = Fnv1a64(key) & (bucket_count_ - 1);
+  const size_t needed = 8 + key.size() + value.size();
+  uint64_t bucket_id = root;
+  bool removed = false;  // a size-changing overwrite erased the old record
   while (true) {
-    ASSIGN_OR_RETURN(Bucket bucket, ReadBucket(bucket_id));
-    for (auto& [k, v] : bucket.entries) {
-      if (k.size() == key.size() && std::equal(k.begin(), k.end(), key.begin())) {
-        v.assign(value.begin(), value.end());
-        return WriteBucket(bucket_id, bucket);
+    RETURN_IF_ERROR(ReadRaw(bucket_id));
+    ASSIGN_OR_RETURN(Scan scan, ScanBucket(ByteSpan(scratch_.data(), scratch_.size()), key));
+    if (scan.found && scan.value_len == value.size()) {
+      // Same-size overwrite: only the value bytes change on media.
+      return store_->Write(BucketSegment(bucket_id), scan.value_off, value);
+    }
+    if (scan.found) {
+      // Size-changing overwrite: close the gap over the old record, then
+      // insert the new one wherever it fits (usually right here).
+      const size_t old_len = 8 + key.size() + scan.value_len;
+      std::memmove(scratch_.data() + scan.entry_off, scratch_.data() + scan.entry_off + old_len,
+                   scan.end - (scan.entry_off + old_len));
+      scan.end -= old_len;
+      scan.count -= 1;
+      used_bytes_ -= old_len;
+      removed = true;
+      bool reinserted = false;
+      if (scan.end + needed <= kBucketBytes) {
+        uint8_t* p = scratch_.data() + scan.end;
+        StoreU32(p, static_cast<uint32_t>(key.size()));
+        std::memcpy(p + 4, key.data(), key.size());
+        StoreU32(p + 4 + key.size(), static_cast<uint32_t>(value.size()));
+        std::memcpy(p + 8 + key.size(), value.data(), value.size());
+        scan.end += needed;
+        scan.count += 1;
+        used_bytes_ += needed;
+        reinserted = true;
       }
+      StoreU32(scratch_.data(), scan.count);
+      std::fill(scratch_.begin() + static_cast<ptrdiff_t>(scan.end), scratch_.end(), uint8_t{0});
+      RETURN_IF_ERROR(store_->Write(BucketSegment(bucket_id), 0,
+                                    ByteSpan(scratch_.data(), scratch_.size())));
+      if (reinserted) {
+        return Status::Ok();
+      }
+      // Did not fit after removal (value grew past this bucket's free
+      // space): fall through and keep walking the chain for room.
+      if (scan.overflow == 0) {
+        ASSIGN_OR_RETURN(const uint64_t overflow, AllocateOverflow());
+        StoreU64(scratch_.data() + 4, overflow);
+        RETURN_IF_ERROR(store_->Write(BucketSegment(bucket_id), 4,
+                                      ByteSpan(scratch_.data() + 4, 8)));
+        NoteChainGrowth(root);
+        scan.overflow = overflow;
+      }
+      bucket_id = scan.overflow;
+      continue;
     }
     // Append here if it fits, otherwise chase/extend the overflow chain.
-    const size_t needed = 8 + key.size() + value.size();
-    if (bucket.SerializedSize() + needed <= kBucketBytes) {
-      bucket.entries.emplace_back(Bytes(key.begin(), key.end()),
-                                  Bytes(value.begin(), value.end()));
-      ++entry_count_;
-      return WriteBucket(bucket_id, bucket);
+    if (scan.end + needed <= kBucketBytes) {
+      Bytes record;
+      record.reserve(needed + 4);
+      PutU32(record, static_cast<uint32_t>(key.size()));
+      PutBytes(record, key);
+      PutU32(record, static_cast<uint32_t>(value.size()));
+      PutBytes(record, value);
+      RETURN_IF_ERROR(store_->Write(BucketSegment(bucket_id), scan.end,
+                                    ByteSpan(record.data(), record.size())));
+      StoreU32(scratch_.data(), scan.count + 1);
+      RETURN_IF_ERROR(
+          store_->Write(BucketSegment(bucket_id), 0, ByteSpan(scratch_.data(), 4)));
+      if (!removed) {
+        ++entry_count_;
+      }
+      used_bytes_ += needed;
+      return Status::Ok();
     }
-    if (bucket.overflow == 0) {
-      ASSIGN_OR_RETURN(bucket.overflow, AllocateOverflow());
-      RETURN_IF_ERROR(WriteBucket(bucket_id, bucket));
+    if (scan.overflow == 0) {
+      ASSIGN_OR_RETURN(const uint64_t overflow, AllocateOverflow());
+      StoreU64(scratch_.data() + 4, overflow);
+      RETURN_IF_ERROR(
+          store_->Write(BucketSegment(bucket_id), 4, ByteSpan(scratch_.data() + 4, 8)));
+      NoteChainGrowth(root);
+      scan.overflow = overflow;
     }
-    bucket_id = bucket.overflow;
+    bucket_id = scan.overflow;
   }
 }
 
 Result<Bytes> HashIndex::Get(ByteSpan key) {
   uint64_t bucket_id = Fnv1a64(key) & (bucket_count_ - 1);
   while (true) {
-    ASSIGN_OR_RETURN(Bucket bucket, ReadBucket(bucket_id));
-    for (const auto& [k, v] : bucket.entries) {
-      if (k.size() == key.size() && std::equal(k.begin(), k.end(), key.begin())) {
-        return v;
-      }
+    RETURN_IF_ERROR(ReadRaw(bucket_id));
+    ASSIGN_OR_RETURN(Scan scan, ScanBucket(ByteSpan(scratch_.data(), scratch_.size()), key));
+    if (scan.found) {
+      return Bytes(scratch_.begin() + static_cast<ptrdiff_t>(scan.value_off),
+                   scratch_.begin() + static_cast<ptrdiff_t>(scan.value_off + scan.value_len));
     }
-    if (bucket.overflow == 0) {
+    if (scan.overflow == 0) {
       return NotFound("key not in index");
     }
-    bucket_id = bucket.overflow;
+    bucket_id = scan.overflow;
   }
 }
 
 Status HashIndex::Delete(ByteSpan key) {
   uint64_t bucket_id = Fnv1a64(key) & (bucket_count_ - 1);
   while (true) {
-    ASSIGN_OR_RETURN(Bucket bucket, ReadBucket(bucket_id));
-    for (size_t i = 0; i < bucket.entries.size(); ++i) {
-      const Bytes& k = bucket.entries[i].first;
-      if (k.size() == key.size() && std::equal(k.begin(), k.end(), key.begin())) {
-        bucket.entries.erase(bucket.entries.begin() + static_cast<ptrdiff_t>(i));
-        --entry_count_;
-        return WriteBucket(bucket_id, bucket);
-      }
+    RETURN_IF_ERROR(ReadRaw(bucket_id));
+    ASSIGN_OR_RETURN(Scan scan, ScanBucket(ByteSpan(scratch_.data(), scratch_.size()), key));
+    if (scan.found) {
+      const size_t old_len = 8 + key.size() + scan.value_len;
+      std::memmove(scratch_.data() + scan.entry_off, scratch_.data() + scan.entry_off + old_len,
+                   scan.end - (scan.entry_off + old_len));
+      scan.end -= old_len;
+      StoreU32(scratch_.data(), scan.count - 1);
+      std::fill(scratch_.begin() + static_cast<ptrdiff_t>(scan.end), scratch_.end(), uint8_t{0});
+      --entry_count_;
+      used_bytes_ -= old_len;
+      return store_->Write(BucketSegment(bucket_id), 0,
+                           ByteSpan(scratch_.data(), scratch_.size()));
     }
-    if (bucket.overflow == 0) {
+    if (scan.overflow == 0) {
       return NotFound("key not in index");
     }
-    bucket_id = bucket.overflow;
+    bucket_id = scan.overflow;
   }
+}
+
+HashIndexStats HashIndex::Stats() const {
+  HashIndexStats stats;
+  stats.entries = entry_count_;
+  stats.root_buckets = bucket_count_;
+  stats.overflow_buckets = next_overflow_id_ - bucket_count_;
+  stats.max_chain = max_chain_;
+  uint64_t total_chain = 0;
+  for (const uint32_t len : chain_len_) {
+    total_chain += len;
+  }
+  stats.mean_chain =
+      chain_len_.empty() ? 1.0 : static_cast<double>(total_chain) / chain_len_.size();
+  const uint64_t total_buckets = bucket_count_ + stats.overflow_buckets;
+  stats.occupancy = static_cast<double>(used_bytes_) /
+                    (static_cast<double>(total_buckets) * kBucketBytes);
+  return stats;
 }
 
 }  // namespace hyperion::storage

@@ -4,6 +4,15 @@
 // tables, graphs). Fixed directory of buckets, each bucket one segment;
 // collisions chain through overflow buckets. O(1 + chain) segment reads per
 // lookup — the contrast with tree walks in the pointer-chasing experiment.
+//
+// The mutation paths operate on the serialized bucket image in place: a
+// lookup scans the raw 4 KiB image with a cursor (no per-entry
+// deserialization), an insert appends the one new record plus a 4-byte
+// header update, and a same-size overwrite rewrites only the value bytes.
+// Only deletes and size-changing overwrites rebuild a bucket. That keeps
+// per-op cost independent of bucket fill, which is what lets the XDP flow
+// table hold millions of entries (PR 8) without the index becoming the
+// bottleneck of the simulation itself.
 
 #ifndef HYPERION_SRC_STORAGE_HASH_INDEX_H_
 #define HYPERION_SRC_STORAGE_HASH_INDEX_H_
@@ -16,10 +25,24 @@
 
 namespace hyperion::storage {
 
+// Directory health under a fixed bucket count: the flow table uses this to
+// know when chains degrade (ISSUE 8 satellite). Chain length counts buckets
+// (root included), so an unchained directory reports max == mean == 1.
+struct HashIndexStats {
+  uint64_t entries = 0;
+  uint32_t root_buckets = 0;
+  uint64_t overflow_buckets = 0;
+  uint32_t max_chain = 1;
+  double mean_chain = 1.0;
+  // Payload bytes (records, headers excluded) over total bucket capacity.
+  double occupancy = 0.0;
+};
+
 class HashIndex {
  public:
   static constexpr uint32_t kBucketBytes = 4096;
   static constexpr uint32_t kMaxValueLen = 256;
+  static constexpr uint32_t kHeaderBytes = 12;  // [count u32][overflow u64]
 
   // Creates an index with `buckets` top-level buckets (rounded to a power
   // of two).
@@ -34,17 +57,31 @@ class HashIndex {
   uint64_t BucketReads() const { return bucket_reads_; }
   void ResetStats() { bucket_reads_ = 0; }
 
+  HashIndexStats Stats() const;
+
  private:
   HashIndex(mem::ObjectStore* store, uint64_t index_id, uint32_t buckets,
             mem::SegmentHints hints)
       : store_(store), index_id_(index_id), bucket_count_(buckets), hints_(hints) {}
 
-  struct Bucket;
+  // In-place scan of one serialized bucket image.
+  struct Scan {
+    uint32_t count = 0;
+    uint64_t overflow = 0;
+    bool found = false;
+    size_t entry_off = 0;   // matched record offset (valid when found)
+    size_t value_off = 0;   // matched value bytes offset (valid when found)
+    uint32_t value_len = 0; // matched value length (valid when found)
+    size_t end = 0;         // one past the last record
+  };
+  static Result<Scan> ScanBucket(ByteSpan raw, ByteSpan key);
 
   mem::SegmentId BucketSegment(uint64_t bucket_id) const;
-  Result<Bucket> ReadBucket(uint64_t bucket_id);
-  Status WriteBucket(uint64_t bucket_id, const Bucket& bucket);
+  // Reads the raw serialized image into the reusable scratch buffer.
+  Status ReadRaw(uint64_t bucket_id);
   Result<uint64_t> AllocateOverflow();
+  // Chain bookkeeping when root's chain grew by one overflow bucket.
+  void NoteChainGrowth(uint64_t root_bucket);
 
   mem::ObjectStore* store_;
   uint64_t index_id_;
@@ -53,6 +90,10 @@ class HashIndex {
   uint64_t next_overflow_id_ = 0;  // overflow ids live above bucket_count_
   uint64_t entry_count_ = 0;
   uint64_t bucket_reads_ = 0;
+  uint64_t used_bytes_ = 0;  // record bytes across all buckets
+  uint32_t max_chain_ = 1;
+  std::vector<uint32_t> chain_len_;  // [root bucket] -> buckets in chain
+  Bytes scratch_;                    // reused bucket image, kBucketBytes
 };
 
 }  // namespace hyperion::storage

@@ -6,6 +6,7 @@
 #include "src/apps/fail2ban.h"
 #include "src/apps/load_balancer.h"
 #include "src/common/rng.h"
+#include "src/sim/fault.h"
 
 namespace hyperion::apps {
 namespace {
@@ -212,6 +213,135 @@ TEST_F(AppsTest, CannotRemoveLastBackend) {
   auto lb = LoadBalancer::Create(&dpu_, {{0xc0a80001, 80}}, 10);
   ASSERT_TRUE(lb.ok());
   EXPECT_EQ((*lb)->RemoveBackend({0xc0a80001, 80}).code(), StatusCode::kInvalidArgument);
+}
+
+// -- Fault paths -------------------------------------------------------
+
+// One fail2ban + load-balancer run under an injector-equipped DPU.
+// Returns a flat fingerprint of every externally visible decision.
+struct FaultRunResult {
+  std::vector<uint8_t> verdicts;
+  std::vector<uint32_t> backend_ips;
+  uint64_t bans_issued = 0;
+  uint64_t events_logged = 0;
+  uint64_t spills = 0;
+  uint64_t spill_hits = 0;
+  uint64_t promotions = 0;
+  uint64_t spill_entries = 0;
+
+  bool operator==(const FaultRunResult&) const = default;
+};
+
+FaultRunResult RunAppsUnderPlan(const sim::FaultPlan& plan, uint64_t injector_seed) {
+  sim::Engine engine;
+  net::Fabric fabric(&engine, {});
+  dpu::Hyperion dpu(&engine, &fabric);
+  CHECK_OK(dpu.Boot());
+  sim::FaultInjector injector(&engine, plan, injector_seed);
+  dpu.InstallFaultInjector(&injector);
+
+  auto f2b = Fail2Ban::Create(&dpu, {.max_failures = 3});
+  CHECK(f2b.ok());
+  auto lb = LoadBalancer::Create(&dpu, ThreeBackends(), 64);
+  CHECK(lb.ok());
+
+  FaultRunResult result;
+  Rng rng(0x5CA1AB1E);  // same workload seed on every run
+  for (int op = 0; op < 800; ++op) {
+    if (rng.Bernoulli(0.25)) {
+      // Auth attempt: 4 attackers hammer, 4 innocents occasionally fail.
+      const uint32_t who = static_cast<uint32_t>(rng.Uniform(8));
+      const bool attacker = who < 4;
+      auto verdict =
+          (*f2b)->OnAuthAttempt(0x0a000001 + who, attacker || rng.Bernoulli(0.1));
+      CHECK(verdict.ok());
+      result.verdicts.push_back(static_cast<uint8_t>(*verdict));
+    } else {
+      // Flow traffic over a working set 6x the resident capacity.
+      const uint32_t flow = static_cast<uint32_t>(rng.Uniform(384));
+      Packet packet = SynPacket(0x0b000000 + flow, static_cast<uint16_t>(2000 + flow));
+      if (rng.Bernoulli(0.7)) {
+        packet.tcp_flags = kTcpAck;  // established traffic; may probe flash
+      }
+      auto backend = (*lb)->Route(packet);
+      CHECK(backend.ok());
+      result.backend_ips.push_back(backend->ip);
+    }
+  }
+  result.bans_issued = (*f2b)->bans_issued();
+  result.events_logged = (*f2b)->events_logged();
+  result.spills = (*lb)->stats().spills;
+  result.spill_hits = (*lb)->stats().spill_hits;
+  result.promotions = (*lb)->stats().promotions;
+  result.spill_entries = (*lb)->spill().EntryCount();
+  return result;
+}
+
+TEST(AppsFaultTest, BansAndSpillStateDeterministicUnderNetFaults) {
+  // Lossy, corrupting network (the XDP ingress environment). The apps'
+  // decisions are driven by the durable store and the virtual clock, so
+  // two identical runs must agree bit-for-bit on every ban and every
+  // spill-tier transition — the property the cluster verdict hash relies on.
+  sim::FaultPlan plan;
+  plan.WithProbability(sim::FaultSite::kNetLoss, 0.25)
+      .WithProbability(sim::FaultSite::kNetCorrupt, 0.10);
+  const FaultRunResult first = RunAppsUnderPlan(plan, /*injector_seed=*/0xFA57);
+  const FaultRunResult second = RunAppsUnderPlan(plan, /*injector_seed=*/0xFA57);
+  EXPECT_EQ(first, second);
+  EXPECT_GT(first.bans_issued, 0u);
+  EXPECT_GT(first.spills, 0u);
+  EXPECT_GT(first.spill_hits, 0u);
+  // The fault-free baseline makes the same decisions: net faults must not
+  // leak into storage-backed app state at all.
+  const FaultRunResult clean = RunAppsUnderPlan(sim::FaultPlan(), 0xFA57);
+  EXPECT_EQ(first, clean);
+}
+
+TEST_F(AppsTest, SpillProbeRidesThroughTransientFlashErrorAndFailsClosedOnPersistentOne) {
+  auto lb = LoadBalancer::Create(&dpu_, ThreeBackends(), 4);
+  ASSERT_TRUE(lb.ok());
+  // Open 32 flows through a 4-entry resident tier: 28 spill to flash.
+  std::vector<std::pair<Packet, Backend>> flows;
+  for (uint32_t i = 0; i < 32; ++i) {
+    Packet syn = SynPacket(0x0c000000 + i, static_cast<uint16_t>(3000 + i));
+    auto backend = (*lb)->Route(syn);
+    ASSERT_TRUE(backend.ok());
+    flows.emplace_back(syn, *backend);
+  }
+  ASSERT_GT((*lb)->stats().spills, 0u);
+
+  // A single ECC miss is transient: the controller's retry path absorbs it
+  // and the spill probe still promotes the flow to its original pin.
+  sim::FaultPlan transient;
+  transient.Always(sim::FaultSite::kNvmeReadError, /*count=*/1);
+  sim::FaultInjector transient_injector(&engine_, transient, 0x1);
+  dpu_.InstallFaultInjector(&transient_injector);
+  Packet established = flows.front().first;
+  established.tcp_flags = kTcpAck;
+  auto routed = (*lb)->Route(established);
+  ASSERT_TRUE(routed.ok());
+  EXPECT_EQ(*routed, flows.front().second);
+  EXPECT_EQ(transient_injector.TotalInjected(), 1u);
+
+  // A persistent media failure outlives every retry: the probe fails
+  // closed — the error surfaces and no resident entry is fabricated.
+  sim::FaultPlan persistent;
+  // retry_limit (3) + 1: every attempt of exactly one command fails.
+  persistent.Always(sim::FaultSite::kNvmeReadError, /*count=*/4);
+  sim::FaultInjector persistent_injector(&engine_, persistent, 0x2);
+  dpu_.InstallFaultInjector(&persistent_injector);
+  Packet second = flows[1].first;
+  second.tcp_flags = kTcpAck;
+  const uint64_t resident_before = (*lb)->ResidentFlows();
+  auto failed = (*lb)->Route(second);
+  EXPECT_FALSE(failed.ok());
+  EXPECT_EQ((*lb)->ResidentFlows(), resident_before);
+
+  // Media recovers (budget exhausted): the same flow routes to its pin.
+  auto recovered = (*lb)->Route(second);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(*recovered, flows[1].second);
+  dpu_.InstallFaultInjector(nullptr);
 }
 
 }  // namespace

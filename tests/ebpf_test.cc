@@ -435,6 +435,72 @@ TEST(VerifierTest, RejectsUnknownMapReference) {
   EXPECT_NE(RejectionOf(p, maps).find("unknown map"), std::string::npos);
 }
 
+TEST(VerifierTest, CtxAccessAtExactFrameLengthIsTheBoundary) {
+  // XDP frame contexts are verified against the exact frame length: a load
+  // whose last byte lands on ctx_size-1 passes, one byte further rejects.
+  MapRegistry maps;
+  constexpr uint32_t kFrame = 64;
+  MustVerify(MustAssemble("ldxb r0, [r1+63]\nexit\n", kFrame), maps);
+  MustVerify(MustAssemble("ldxw r0, [r1+60]\nexit\n", kFrame), maps);
+  MustVerify(MustAssemble("ldxdw r0, [r1+56]\nexit\n", kFrame), maps);
+  EXPECT_NE(RejectionOf(MustAssemble("ldxb r0, [r1+64]\nexit\n", kFrame), maps)
+                .find("context access"),
+            std::string::npos);
+  EXPECT_NE(RejectionOf(MustAssemble("ldxw r0, [r1+61]\nexit\n", kFrame), maps)
+                .find("context access"),
+            std::string::npos);
+  EXPECT_NE(RejectionOf(MustAssemble("ldxdw r0, [r1+57]\nexit\n", kFrame), maps)
+                .find("context access"),
+            std::string::npos);
+  // Stores obey the same boundary.
+  MustVerify(MustAssemble("mov r2, 0\nstxb [r1+63], r2\nmov r0, 0\nexit\n", kFrame), maps);
+  EXPECT_NE(RejectionOf(
+                MustAssemble("mov r2, 0\nstxw [r1+62], r2\nmov r0, 0\nexit\n", kFrame), maps)
+                .find("context access"),
+            std::string::npos);
+}
+
+TEST(VerifierTest, RejectsHelperCallWithoutMapFd) {
+  // A scalar in r1 is not a map reference: the helper contract demands an
+  // ld_map_fd-produced register, whatever the scalar's value happens to be.
+  MapRegistry maps;
+  maps.Create({MapType::kHash, 4, 8, 4, "m"});
+  Program p = MustAssemble(R"(
+      stw [r10-4], 0
+      mov r1, 0          ; a valid map id, but a plain scalar
+      mov r2, r10
+      add r2, -4
+      call map_lookup
+      mov r0, 0
+      exit
+  )");
+  EXPECT_NE(RejectionOf(p, maps).find("map reference"), std::string::npos);
+}
+
+TEST(VerifierTest, RejectionHappensBeforeCodegen) {
+  // The synthesis contract: hdl_codegen only ever sees verified programs.
+  // A program with a back edge must die in Verify; the compile entry point
+  // is gated on that success, so the bad program never reaches it.
+  MapRegistry maps;
+  std::vector<Insn> insns;
+  insns.push_back(Mov64Imm(0, 0));
+  insns.push_back(Alu64Imm(kAluAdd, 0, 1));
+  insns.push_back(JumpImm(kJmpJlt, 0, 10, -2));
+  insns.push_back(Exit());
+  Program looping{"loop", insns, 64};
+  auto verdict = Verify(looping, maps);
+  ASSERT_FALSE(verdict.ok());
+  EXPECT_EQ(verdict.status().code(), StatusCode::kPermissionDenied);
+
+  // The same gate admits a straight-line program all the way to a pipeline
+  // plan, proving the rejection above is the verifier and not the codegen.
+  Program straight = MustAssemble("mov r0, 2\nexit\n");
+  MustVerify(straight, maps);
+  auto plan = CompileToPipeline(straight, CodegenOptions{});
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_GE(plan->InitiationInterval(), 1u);
+}
+
 TEST(VerifierTest, RejectsPointerArithmeticWithUnknownScalar) {
   MapRegistry maps;
   Program p = MustAssemble(R"(

@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <map>
+#include <unordered_map>
 
 #include "src/common/rng.h"
 #include "src/mem/object_store.h"
@@ -289,6 +290,129 @@ TEST_F(StorageTest, HashIndexOverflowChains) {
     auto got = index->Get(ByteSpan(key.data(), key.size()));
     ASSERT_TRUE(got.ok()) << k;
     EXPECT_EQ(*got, Value(k));
+  }
+}
+
+TEST_F(StorageTest, HashIndexStatsTrackChainsAndOccupancy) {
+  // 4 roots and fixed-size records: chain growth is fully predictable, so
+  // the stats must track it exactly, not approximately.
+  auto index = HashIndex::Create(store_.get(), 4, 4);
+  ASSERT_TRUE(index.ok());
+  HashIndexStats stats = index->Stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.root_buckets, 4u);
+  EXPECT_EQ(stats.overflow_buckets, 0u);
+  EXPECT_EQ(stats.max_chain, 1u);
+  EXPECT_EQ(stats.occupancy, 0.0);
+
+  for (uint64_t k = 0; k < 2000; ++k) {
+    Bytes key;
+    PutU64(key, k);
+    Bytes value = Value(k);
+    ASSERT_TRUE(
+        index->Put(ByteSpan(key.data(), key.size()), ByteSpan(value.data(), value.size())).ok());
+  }
+  stats = index->Stats();
+  EXPECT_EQ(stats.entries, 2000u);
+  EXPECT_GT(stats.overflow_buckets, 0u);
+  EXPECT_GT(stats.max_chain, 1u);
+  // mean chain = total buckets / roots, and the max bounds the mean.
+  EXPECT_DOUBLE_EQ(stats.mean_chain,
+                   static_cast<double>(stats.root_buckets + stats.overflow_buckets) /
+                       stats.root_buckets);
+  EXPECT_LE(stats.mean_chain, static_cast<double>(stats.max_chain));
+  EXPECT_GT(stats.occupancy, 0.0);
+  EXPECT_LE(stats.occupancy, 1.0);
+
+  // Deleting everything drains entries; chains may persist (no merge), but
+  // occupancy must fall to zero payload.
+  for (uint64_t k = 0; k < 2000; ++k) {
+    Bytes key;
+    PutU64(key, k);
+    ASSERT_TRUE(index->Delete(ByteSpan(key.data(), key.size())).ok());
+  }
+  stats = index->Stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.occupancy, 0.0);
+}
+
+TEST_F(StorageTest, HashIndexMillionEntryScale) {
+  // The XDP flow table sizing case: >=1M concurrent flows over a fixed
+  // bucket directory. Fixed 16-byte records over 8192 4KiB roots sit right
+  // at capacity, so overflow stays near zero and chains stay flat.
+  auto index = HashIndex::Create(store_.get(), 5, 8192);
+  ASSERT_TRUE(index.ok());
+  const uint64_t kFlows = 1u << 20;
+  for (uint64_t k = 0; k < kFlows; ++k) {
+    Bytes key;
+    PutU64(key, k * 0x9E3779B97F4A7C15ull);  // well-spread flow ids
+    Bytes value = Value(k);
+    ASSERT_TRUE(
+        index->Put(ByteSpan(key.data(), key.size()), ByteSpan(value.data(), value.size())).ok())
+        << k;
+  }
+  HashIndexStats stats = index->Stats();
+  EXPECT_EQ(stats.entries, kFlows);
+  EXPECT_EQ(stats.root_buckets, 8192u);
+  EXPECT_LT(stats.max_chain, 4u);
+  EXPECT_LT(stats.mean_chain, 1.1);
+  EXPECT_GT(stats.occupancy, 0.5);
+  // Spot-check reads across the whole range.
+  for (uint64_t k = 0; k < kFlows; k += 65537) {
+    Bytes key;
+    PutU64(key, k * 0x9E3779B97F4A7C15ull);
+    auto got = index->Get(ByteSpan(key.data(), key.size()));
+    ASSERT_TRUE(got.ok()) << k;
+    EXPECT_EQ(*got, Value(k));
+  }
+  // Teardown of a stripe shrinks the count exactly.
+  for (uint64_t k = 0; k < kFlows; k += 16) {
+    Bytes key;
+    PutU64(key, k * 0x9E3779B97F4A7C15ull);
+    ASSERT_TRUE(index->Delete(ByteSpan(key.data(), key.size())).ok()) << k;
+  }
+  EXPECT_EQ(index->Stats().entries, kFlows - kFlows / 16);
+}
+
+TEST_F(StorageTest, HashIndexPropertyMatchesUnorderedMap) {
+  auto index = HashIndex::Create(store_.get(), 6, 8);
+  ASSERT_TRUE(index.ok());
+  std::unordered_map<uint64_t, uint64_t> model;
+  Rng rng(0xD1CE);
+  for (int op = 0; op < 20000; ++op) {
+    const uint64_t k = rng.Uniform(512);  // small key space forces collisions
+    Bytes key;
+    PutU64(key, k);
+    const uint32_t kind = static_cast<uint32_t>(rng.Uniform(10));
+    if (kind < 6) {  // put (fresh, same-size overwrite, or resize overwrite)
+      const uint64_t v = rng.Next();
+      Bytes value;
+      PutU64(value, v);
+      if (kind == 5) {
+        PutU64(value, v);  // 16-byte variant: in-place resize path
+      }
+      ASSERT_TRUE(
+          index->Put(ByteSpan(key.data(), key.size()), ByteSpan(value.data(), value.size())).ok());
+      model[k] = v;
+    } else if (kind < 8) {  // delete
+      const Status deleted = index->Delete(ByteSpan(key.data(), key.size()));
+      EXPECT_EQ(deleted.ok(), model.erase(k) > 0) << "key " << k;
+    } else {  // lookup
+      auto got = index->Get(ByteSpan(key.data(), key.size()));
+      auto expect = model.find(k);
+      ASSERT_EQ(got.ok(), expect != model.end()) << "key " << k;
+      if (got.ok()) {
+        EXPECT_EQ(GetU64(ByteSpan(got->data(), got->size()), 0), expect->second);
+      }
+    }
+  }
+  EXPECT_EQ(index->EntryCount(), model.size());
+  for (const auto& [k, v] : model) {
+    Bytes key;
+    PutU64(key, k);
+    auto got = index->Get(ByteSpan(key.data(), key.size()));
+    ASSERT_TRUE(got.ok()) << k;
+    EXPECT_EQ(GetU64(ByteSpan(got->data(), got->size()), 0), v);
   }
 }
 
