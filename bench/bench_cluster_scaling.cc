@@ -1,8 +1,9 @@
-// Experiment E11 — sharded parallel simulation scaling (PR 3).
+// Experiments E11 + E17 — sharded parallel simulation scaling (PR 3/PR 9).
 //
-// Measures the ParallelEngine on the two cluster workloads:
+// Measures the ParallelEngine on the cluster workloads:
 //
-//   NetKvWeakScaling    one KV DPU node per shard, fixed per-node load.
+//   NetKvWeakScaling    one KV DPU node per shard, fixed per-node load,
+//                       out to 64 shards (PR 9 extends the curve past 8).
 //                       sim_events_per_s / sim_ops_per_s grow with the
 //                       cluster because nodes serve in parallel *virtual*
 //                       time; wall_events_per_s shows what the host pays
@@ -15,10 +16,20 @@
 //   GraphBsp            partitioned BSP rank propagation where each
 //                       superstep's cross-partition contributions travel
 //                       as one batched Channel<T> message per edge-cut.
+//   RepKvWeakScaling    E17: the PR 9 replicated cluster (Corfu chain
+//                       replication, R=3 groups) at fixed per-node load,
+//                       from 3 nodes out to the 64-node / 64-shard point.
+//                       Every row CHECKs failed_ops == 0 and a clean
+//                       acked-write audit before reporting.
+//   RepKvKillMidBench   E17 headline: a replica (the head — leader and
+//                       sequencer of its group) is killed mid-bench; the
+//                       row CHECKs that exactly one node died, failover
+//                       ran, and the post-run audit finds every
+//                       acknowledged write on every surviving replica.
 //
 // On a single-core host wall_events_per_s cannot rise with thread count;
 // see EXPERIMENTS.md for how to read the two axes. Generate the JSON with
-//   bench_cluster_scaling --benchmark_format=json > BENCH_PR3.json
+//   bench_cluster_scaling --benchmark_format=json > BENCH_PR9.json
 
 #include <array>
 #include <atomic>
@@ -35,6 +46,7 @@
 
 #include "src/common/rng.h"
 #include "src/dpu/cluster.h"
+#include "src/dpu/replication.h"
 #include "src/sim/parallel.h"
 #include "src/sim/time.h"
 
@@ -158,6 +170,112 @@ void BM_NetKvSpeedup(benchmark::State& state) {
   state.counters["speedup_sim_events_per_s"] = wide_sim / base_sim;
   state.counters["speedup_wall_events_per_s"] = wide_wall / base_wall;
   state.SetLabel("netkv 4 shards vs 1");
+}
+
+// -- E17: replicated cluster scaling + kill-mid-bench (PR 9) ----------------
+
+// Fixed per-node load; the cluster grows by adding replica groups. Values
+// carry the 8-byte audit tag, so value_bytes stays >= 8.
+dpu::RepClusterOptions RepKvOptions(uint32_t groups, uint32_t replicas, uint32_t shards) {
+  dpu::RepClusterOptions options;
+  options.groups = groups;
+  options.replicas_per_group = replicas;
+  options.num_shards = shards;
+  options.workload.clients_per_node = 2;
+  options.workload.ops_per_client = 8;
+  options.workload.value_bytes = 32;
+  options.workload.key_space = 64 * groups;  // keys spread across all groups
+  options.workload.write_pct = 50;  // YCSB-A
+  return options;
+}
+
+struct RepKvRates {
+  double sim_events_per_s = 0;
+  double sim_ops_per_s = 0;
+  double wall_seconds = 0;
+  uint64_t events = 0;
+  uint64_t failovers = 0;
+  uint64_t seals = 0;
+  uint64_t killed = 0;
+  uint64_t acked_audited = 0;
+};
+
+RepKvRates RunRepKv(const dpu::RepClusterOptions& options) {
+  dpu::ReplicatedKvCluster cluster(options);  // boot + preload off the clock
+  const auto wall_start = std::chrono::steady_clock::now();
+  const dpu::RepClusterResult result = cluster.Run();
+  const std::chrono::duration<double> wall = std::chrono::steady_clock::now() - wall_start;
+  CHECK_EQ(result.failed_ops, 0u);
+  const dpu::RepAudit audit = cluster.AuditAckedWrites();
+  CHECK(audit.ok());  // zero acked-write loss is part of the row's contract
+  const double sim_seconds = sim::ToSeconds(result.makespan_ns);
+  RepKvRates rates;
+  rates.sim_events_per_s = static_cast<double>(result.events_run) / sim_seconds;
+  rates.sim_ops_per_s = static_cast<double>(result.ok_puts + result.ok_gets) / sim_seconds;
+  rates.wall_seconds = wall.count();
+  rates.events = result.events_run;
+  rates.failovers = result.failovers;
+  rates.seals = result.seals;
+  rates.killed = result.killed_nodes;
+  rates.acked_audited = audit.acked;
+  return rates;
+}
+
+void ReportRepKv(benchmark::State& state, const std::vector<RepKvRates>& runs) {
+  double sim_events = 0;
+  double sim_ops = 0;
+  double wall_seconds = 0;
+  uint64_t events = 0;
+  uint64_t acked = 0;
+  for (const RepKvRates& run : runs) {
+    sim_events += run.sim_events_per_s;
+    sim_ops += run.sim_ops_per_s;
+    wall_seconds += run.wall_seconds;
+    events += run.events;
+    acked += run.acked_audited;
+  }
+  const auto n = static_cast<double>(runs.size());
+  state.counters["sim_events_per_s"] = sim_events / n;
+  state.counters["sim_ops_per_s"] = sim_ops / n;
+  state.counters["wall_events_per_s"] = static_cast<double>(events) / wall_seconds;
+  state.counters["acked_writes_audited"] = static_cast<double>(acked) / n;
+}
+
+// Weak scaling over replica groups at R=3 (nodes = 3 * groups), plus the
+// 64-node / 64-shard point registered as groups=32 x R=2.
+void BM_RepKvWeakScaling(benchmark::State& state) {
+  const auto groups = static_cast<uint32_t>(state.range(0));
+  const auto replicas = static_cast<uint32_t>(state.range(1));
+  const uint32_t nodes = groups * replicas;
+  std::vector<RepKvRates> runs;
+  for (auto _ : state) {
+    runs.push_back(RunRepKv(RepKvOptions(groups, replicas, nodes)));
+  }
+  ReportRepKv(state, runs);
+  state.SetLabel("repkv/groups:" + std::to_string(groups) + "/R:" +
+                 std::to_string(replicas) + "/nodes:" + std::to_string(nodes) +
+                 "/shards:" + std::to_string(nodes));
+}
+
+// The PR 9 headline: node 0 (head of group 0 — its leader and sequencer)
+// dies mid-bench; clients seal the epoch, repair the tail, adopt it at the
+// new head, and finish the workload. RunRepKv CHECKs the audit, so a lost
+// acknowledged write aborts the bench rather than skewing a counter.
+void BM_RepKvKillMidBench(benchmark::State& state) {
+  std::vector<RepKvRates> runs;
+  for (auto _ : state) {
+    dpu::RepClusterOptions options = RepKvOptions(2, 3, 6);
+    options.kill_node = 0;
+    options.kill_after_ns = 60 * sim::kMicrosecond;
+    RepKvRates rates = RunRepKv(options);
+    CHECK_EQ(rates.killed, 1u);
+    CHECK_GT(rates.failovers, 0u);
+    runs.push_back(rates);
+  }
+  ReportRepKv(state, runs);
+  state.counters["failovers"] = static_cast<double>(runs.back().failovers);
+  state.counters["seals"] = static_cast<double>(runs.back().seals);
+  state.SetLabel("repkv/groups:2/R:3/kill:head@60us");
 }
 
 // -- Graph analytics: BSP rank propagation over Channel<T> ------------------
@@ -352,12 +470,17 @@ void BM_ChannelSendInline(benchmark::State& state) { ChannelSendLoop<InlinePaylo
 void BM_ChannelSendBoxed(benchmark::State& state) { ChannelSendLoop<BoxedPayload>(state); }
 
 void RegisterAll() {
-  for (int64_t shards : {1, 2, 4, 8}) {
+  // Weak scaling out to 64 shards (PR 9); the big rows run once — on a
+  // one-core host a 64-node iteration is construction-heavy and the
+  // virtual-time counters are deterministic anyway.
+  for (int64_t shards : {1, 2, 4, 8, 16, 64}) {
     benchmark::RegisterBenchmark(
         ("E11/NetKvWeakScaling/shards:" + std::to_string(shards)).c_str(), BM_NetKvWeakScaling)
         ->Args({shards})
-        ->Iterations(3)
+        ->Iterations(shards > 8 ? 1 : 3)
         ->Unit(benchmark::kMillisecond);
+  }
+  for (int64_t shards : {1, 2, 4, 8}) {
     benchmark::RegisterBenchmark(
         ("E11/NetKvStrongScaling/shards:" + std::to_string(shards)).c_str(),
         BM_NetKvStrongScaling)
@@ -367,6 +490,23 @@ void RegisterAll() {
   }
   benchmark::RegisterBenchmark("E11/NetKvSpeedup/4v1", BM_NetKvSpeedup)
       ->Iterations(3)
+      ->Unit(benchmark::kMillisecond);
+  // E17 weak-scaling curve: R=3 groups from 3 to 24 nodes, then the
+  // 64-node / 64-shard point as 32 groups x R=2.
+  for (int64_t groups : {1, 2, 4, 8}) {
+    benchmark::RegisterBenchmark(
+        ("E17/RepKvWeakScaling/nodes:" + std::to_string(3 * groups)).c_str(),
+        BM_RepKvWeakScaling)
+        ->Args({groups, 3})
+        ->Iterations(groups > 4 ? 1 : 2)
+        ->Unit(benchmark::kMillisecond);
+  }
+  benchmark::RegisterBenchmark("E17/RepKvWeakScaling/nodes:64", BM_RepKvWeakScaling)
+      ->Args({32, 2})
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("E17/RepKvKillMidBench/nodes:6", BM_RepKvKillMidBench)
+      ->Iterations(2)
       ->Unit(benchmark::kMillisecond);
   for (int64_t shards : {1, 2, 4}) {
     benchmark::RegisterBenchmark(("E11/GraphBsp/shards:" + std::to_string(shards)).c_str(),

@@ -38,6 +38,8 @@ enum class ServiceId : uint16_t {
   kBlock = 4,  // NVMe-oF-style block-level access to the attached SSDs
   kFile = 5,   // virtio-fs/DPFS-style remote file access (annotation-driven)
   kApp = 6,    // Willow-style user RPC: opcode = accelerator id, payload = ctx
+  kRepKv = 7,  // replicated KV: Corfu chain replication + epoch/seal failover
+  kLsmKv = 8,  // LSM engine (PR 6) served as an RPC workload (KvOp opcodes)
 };
 
 // Absolute virtual-time deadline meaning "no deadline".

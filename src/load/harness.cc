@@ -29,10 +29,77 @@ OverloadCluster::ServerNode::ServerNode(OverloadCluster* cluster)
   auto installed = dpu::HyperionServices::Install(&dpu, storage::KvBackend::kBTree);
   CHECK(installed.ok());
   services = std::move(*installed);
+  if (cluster->options_.workload == OverloadWorkload::kLsmKv) {
+    // A zoned namespace beside the block namespaces, formatted for the PR 6
+    // LSM engine; the engine runs on the server's node clock so its I/O
+    // costs land in the served-request latency like every other substrate.
+    constexpr uint64_t kZoneLbas = 128;
+    constexpr uint32_t kZones = 48;
+    const uint32_t nsid = dpu.nvme().AddNamespace(kZones * kZoneLbas);
+    auto zoned = nvme::ZonedNamespace::Create(&dpu.nvme(), nsid, kZoneLbas);
+    CHECK_OK(zoned.status());
+    zns = std::make_unique<nvme::ZonedNamespace>(std::move(zoned).value());
+    auto formatted = storage::LsmEngine::Format(
+        storage::LsmDeps{.engine = &clock, .zns = zns.get(), .injector = nullptr});
+    CHECK_OK(formatted.status());
+    lsm = std::move(*formatted);
+    dpu.rpc().RegisterService(dpu::ServiceId::kLsmKv,
+                              [this](uint16_t opcode, const Buffer& payload) {
+                                return HandleLsm(opcode, payload);
+                              });
+  }
   endpoint = std::make_unique<dpu::ShardedRpcNode>(
       cluster->engine_.get(), cluster->ShardOf(0), &dpu.rpc(), &clock,
       cluster->options_.fabric, cluster->options_.fabric.default_link_gbps);
   endpoint->SetOverloadPolicy(cluster->options_.policy);
+}
+
+dpu::RpcResponse OverloadCluster::ServerNode::HandleLsm(uint16_t opcode,
+                                                        const Buffer& payload) {
+  clock.Advance(1200);  // shell datapath cost, same as the plain services
+  ByteReader reader(payload);
+  switch (opcode) {
+    case dpu::KvOp::kPut: {
+      const uint64_t key = reader.ReadU64();
+      const uint32_t len = reader.ReadU32();
+      if (!reader.Ok() || reader.remaining() < len) {
+        return dpu::RpcResponse::Fail(InvalidArgument("malformed LSM put"));
+      }
+      const Bytes value = reader.ReadBytes(len);
+      auto seq = lsm->Put(key, ByteSpan(value.data(), value.size()));
+      if (!seq.ok()) {
+        return dpu::RpcResponse::Fail(seq.status());
+      }
+      // The ack barrier: the response leaves only after the WAL group
+      // holding this mutation is on media.
+      Status synced = lsm->Sync();
+      if (!synced.ok()) {
+        return dpu::RpcResponse::Fail(synced);
+      }
+      return dpu::RpcResponse::Ok();
+    }
+    case dpu::KvOp::kGet: {
+      const uint64_t key = reader.ReadU64();
+      if (!reader.Ok()) {
+        return dpu::RpcResponse::Fail(InvalidArgument("malformed LSM get"));
+      }
+      auto got = lsm->Get(key);
+      if (!got.ok()) {
+        return dpu::RpcResponse::Fail(got.status());
+      }
+      ByteWriter out;
+      if (got->has_value()) {
+        out.PutU8(1);
+        out.PutU32(static_cast<uint32_t>((*got)->size()));
+        out.PutBytes(ByteSpan((*got)->data(), (*got)->size()));
+      } else {
+        out.PutU8(0);
+      }
+      return dpu::RpcResponse::Ok(Buffer(out.Take()));
+    }
+    default:
+      return dpu::RpcResponse::Fail(Unimplemented("unknown LSM opcode"));
+  }
 }
 
 OverloadCluster::ClientNode::ClientNode(OverloadCluster* cluster, uint32_t id) : id(id) {
@@ -74,6 +141,14 @@ uint32_t OverloadCluster::ShardOf(uint32_t node) const {
 OverloadResult OverloadCluster::Run() {
   CHECK(!ran_);
   ran_ = true;
+  if (options_.workload == OverloadWorkload::kLsmKv) {
+    // Warm dataset, installed directly (no wire) before the measured phase.
+    for (uint64_t key = 0; key < options_.kv_key_space; ++key) {
+      Bytes value(options_.kv_value_bytes, static_cast<uint8_t>(key * 131 + 17));
+      CHECK_OK(server_->lsm->Put(key, ByteSpan(value.data(), value.size())).status());
+    }
+    CHECK_OK(server_->lsm->Sync());
+  }
   // Clients start once the server has drained boot from its pipeline (the
   // base is layout-invariant: boot never touches shard engines).
   const sim::SimTime start_base = server_->clock.Now() + 1000;
@@ -94,13 +169,36 @@ OverloadResult OverloadCluster::Run() {
         &engine_->shard(ShardOf(client->id)), gopts,
         [this, client, max_slba](uint64_t seq, sim::SimTime deadline, LoadGen::DoneFn done) {
           dpu::RpcRequest request;
-          request.service = dpu::ServiceId::kBlock;
-          request.opcode = dpu::BlockOp::kRead;
-          ByteWriter payload(16);
-          payload.PutU32(1);  // nsid
-          payload.PutU64((seq * 97 + uint64_t{client->id} * 7919) % max_slba);
-          payload.PutU32(options_.read_blocks);
-          request.payload = Buffer(payload.Take());
+          if (options_.workload == OverloadWorkload::kLsmKv) {
+            // Deterministic per-(client, seq) key and op mix: layout cannot
+            // change what any client issues.
+            const uint64_t h =
+                (seq * 0x9e3779b97f4a7c15ull) ^ (uint64_t{client->id} << 32);
+            const uint64_t key = h % options_.kv_key_space;
+            const bool write = (h >> 33) % 100 < options_.kv_write_pct;
+            request.service = dpu::ServiceId::kLsmKv;
+            ByteWriter payload;
+            if (write) {
+              request.opcode = dpu::KvOp::kPut;
+              Bytes value(options_.kv_value_bytes,
+                          static_cast<uint8_t>(h >> 56 | 1));
+              payload.PutU64(key);
+              payload.PutU32(static_cast<uint32_t>(value.size()));
+              payload.PutBytes(ByteSpan(value.data(), value.size()));
+            } else {
+              request.opcode = dpu::KvOp::kGet;
+              payload.PutU64(key);
+            }
+            request.payload = Buffer(payload.Take());
+          } else {
+            request.service = dpu::ServiceId::kBlock;
+            request.opcode = dpu::BlockOp::kRead;
+            ByteWriter payload(16);
+            payload.PutU32(1);  // nsid
+            payload.PutU64((seq * 97 + uint64_t{client->id} * 7919) % max_slba);
+            payload.PutU32(options_.read_blocks);
+            request.payload = Buffer(payload.Take());
+          }
           request.deadline = deadline;  // kNever == kNoDeadline: none
           client->endpoint->CallAsync(
               server_->endpoint.get(), request,

@@ -28,11 +28,19 @@
 #include "src/dpu/rpc.h"
 #include "src/dpu/services.h"
 #include "src/load/loadgen.h"
+#include "src/nvme/zns.h"
 #include "src/obs/metrics.h"
 #include "src/sim/parallel.h"
 #include "src/sim/stats.h"
+#include "src/storage/lsm_engine.h"
 
 namespace hyperion::load {
+
+// What the server serves and the clients issue.
+enum class OverloadWorkload {
+  kBlockRead,  // NVMe-oF-style BlockOp::kRead (the original E13 shape)
+  kLsmKv,      // the PR 6 LSM engine served over RPC: KvOp::kPut / kGet
+};
 
 struct OverloadClusterOptions {
   uint32_t num_clients = 3;  // client nodes; node 0 is the server
@@ -50,6 +58,13 @@ struct OverloadClusterOptions {
   sim::Duration think_time = 0;
   sim::Duration deadline = 1 * sim::kMillisecond;  // relative; 0 = none
   uint32_t read_blocks = 1;
+  // Workload selection (kLsmKv: the server formats an LsmEngine on a zoned
+  // namespace and serves it under ServiceId::kLsmKv; puts are acknowledged
+  // only after their WAL group sync, so every kOk is durable).
+  OverloadWorkload workload = OverloadWorkload::kBlockRead;
+  uint64_t kv_key_space = 256;   // preloaded before the measured phase
+  uint32_t kv_write_pct = 50;    // percent of issued ops that are puts
+  uint32_t kv_value_bytes = 64;
   // Server-side overload policy (the experiment's independent variable).
   dpu::RpcOverloadPolicy policy;
   // Trimmed server DPU (communication structure, not capacity).
@@ -106,11 +121,16 @@ class OverloadCluster {
  private:
   struct ServerNode {
     explicit ServerNode(OverloadCluster* cluster);
+    dpu::RpcResponse HandleLsm(uint16_t opcode, const Buffer& payload);
     sim::Engine clock;  // private cost engine (never holds events)
     net::Fabric fabric;
     dpu::Hyperion dpu;
     std::unique_ptr<dpu::HyperionServices> services;
     std::unique_ptr<dpu::ShardedRpcNode> endpoint;
+    // kLsmKv only: a zoned namespace added to the DPU's controller and the
+    // LSM engine formatted onto it, driven on the server's node clock.
+    std::unique_ptr<nvme::ZonedNamespace> zns;
+    std::unique_ptr<storage::LsmEngine> lsm;
   };
   struct ClientNode {
     ClientNode(OverloadCluster* cluster, uint32_t id);

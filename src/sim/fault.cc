@@ -24,6 +24,8 @@ std::string_view FaultSiteName(FaultSite site) {
       return "rpc_response_drop";
     case FaultSite::kStoragePowerCut:
       return "storage_power_cut";
+    case FaultSite::kNodeKill:
+      return "node_kill";
   }
   return "?";
 }

@@ -47,8 +47,9 @@ enum class FaultSite : uint8_t {
   kNetCorrupt,          // delivered, but fails its checksum at the receiver
   kRpcResponseDrop,     // server executed, response evaporated
   kStoragePowerCut,     // power lost mid-append: torn tail, device dark
+  kNodeKill,            // whole node fails permanently at a protocol boundary
 };
-inline constexpr size_t kFaultSiteCount = 8;
+inline constexpr size_t kFaultSiteCount = 9;
 
 // Stable lower_snake name ("nvme_read_error", ...), used for counter keys.
 std::string_view FaultSiteName(FaultSite site);

@@ -12,6 +12,13 @@
 // Positions stripe across `stripe_units` virtual storage units; each entry
 // lives in its own durable 128-bit-addressed segment, so on Hyperion the
 // whole log is served by the DPU with no host CPU (experiment E9).
+//
+// Sequencer state is durable: Reserve() persists a position ceiling to a
+// meta segment in chunks of kReserveChunk, and a log reopened over the same
+// store recovers its tail from that ceiling. The ceiling may overestimate
+// the true tail by up to a chunk; the over-reserved positions are ordinary
+// holes (filled by repair), never re-issued, which is the invariant that
+// matters for write-once.
 
 #ifndef HYPERION_SRC_STORAGE_CORFU_H_
 #define HYPERION_SRC_STORAGE_CORFU_H_
@@ -26,17 +33,22 @@ namespace hyperion::storage {
 class CorfuLog {
  public:
   static constexpr uint32_t kMaxEntryLen = 4000;
+  // Positions per durable ceiling bump: one 16-byte meta write amortised
+  // over this many Reserve() calls.
+  static constexpr uint64_t kReserveChunk = 64;
 
-  CorfuLog(mem::ObjectStore* store, uint64_t log_id, uint32_t stripe_units = 4)
-      : store_(store), log_id_(log_id), stripe_units_(stripe_units) {}
+  CorfuLog(mem::ObjectStore* store, uint64_t log_id, uint32_t stripe_units = 4);
 
   // -- Client-driven protocol (the fast path) -------------------------------
 
-  // Sequencer: reserves the next position. Pure counter; never blocks.
-  uint64_t Reserve() { return tail_++; }
+  // Sequencer: reserves the next position. Persists the chunked ceiling so
+  // a reopened log never re-issues a handed-out position.
+  uint64_t Reserve();
 
   // Writes `data` to a reserved position. kAlreadyExists if the position
-  // was already written or hole-filled (write-once).
+  // was already written or hole-filled (write-once). Positions at or past
+  // the local tail advance it: a replica accepts positions reserved at a
+  // remote sequencer without having seen the Reserve().
   Status WriteAt(uint64_t position, ByteSpan data);
 
   // Reads a position. kNotFound if unwritten; kDataLoss if it was
@@ -44,7 +56,7 @@ class CorfuLog {
   Result<Bytes> Read(uint64_t position);
 
   // Junk-fills a hole so readers can make progress (write-once also holds
-  // for fills).
+  // for fills). Advances the tail like WriteAt.
   Status Fill(uint64_t position);
 
   // -- Convenience ------------------------------------------------------------
@@ -53,6 +65,16 @@ class CorfuLog {
   Result<uint64_t> Append(ByteSpan data);
 
   uint64_t Tail() const { return tail_; }
+
+  // Adopts a recovered tail (failover: the new sequencer resumes from the
+  // maximum tail observed across sealed replicas). Monotone; persists the
+  // covering ceiling so the adoption survives a reopen.
+  void AdvanceTail(uint64_t tail) {
+    if (tail > tail_) {
+      tail_ = tail;
+      CoverPosition(tail - 1);
+    }
+  }
 
   // Reclaims all positions < prefix.
   Status Trim(uint64_t prefix);
@@ -65,12 +87,20 @@ class CorfuLog {
 
  private:
   mem::SegmentId EntrySegment(uint64_t position) const;
+  mem::SegmentId MetaSegment() const;
+  // Persists {ceiling, trim} to the meta segment (creating it on first use).
+  void PersistMeta();
+  // Raises the durable ceiling to cover `position` if it does not already.
+  void CoverPosition(uint64_t position);
 
   mem::ObjectStore* store_;
   uint64_t log_id_;
   uint32_t stripe_units_;
   uint64_t tail_ = 0;
   uint64_t trim_point_ = 0;
+  // Durable position ceiling: every position ever Reserved (or accepted via
+  // WriteAt/Fill) is < ceiling_, and ceiling_ is what recovery reads back.
+  uint64_t ceiling_ = 0;
 };
 
 }  // namespace hyperion::storage

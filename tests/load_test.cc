@@ -542,6 +542,67 @@ TEST(OverloadClusterTest, AdmissionControlBoundsTailUnderOverload) {
   EXPECT_EQ(on.admitted + on.shed_queue + on.shed_deadline, on.served);
 }
 
+// The PR 6 follow-up: the LSM engine as a served workload over RPC, with
+// the same layout-invariance bar as the block workload.
+OverloadClusterOptions LsmKvOptions() {
+  OverloadClusterOptions options;
+  options.workload = OverloadWorkload::kLsmKv;
+  options.num_clients = 3;
+  options.requests_per_client = 32;
+  options.open_loop = true;
+  options.interarrival = 60 * sim::kMicrosecond;
+  options.deadline = 0;  // unbounded: every issued op must land
+  options.kv_key_space = 96;
+  options.kv_write_pct = 50;
+  options.kv_value_bytes = 48;
+  return options;
+}
+
+TEST(OverloadClusterTest, LsmKvOverRpcServesEveryRequest) {
+  OverloadCluster cluster(LsmKvOptions());
+  const OverloadResult result = cluster.Run();
+  EXPECT_EQ(result.issued, 96u);
+  EXPECT_EQ(result.ok, 96u);
+  EXPECT_EQ(result.failed, 0u);
+  EXPECT_EQ(result.rejected, 0u);
+  EXPECT_GT(result.latency_count, 0u);
+}
+
+TEST(OverloadClusterTest, LsmKvResultBitIdenticalAcrossShardsAndThreads) {
+  auto run = [](uint32_t shards, bool threads) {
+    OverloadClusterOptions options = LsmKvOptions();
+    options.num_shards = shards;
+    options.use_threads = threads;
+    OverloadCluster cluster(options);
+    return cluster.Run();
+  };
+  const OverloadResult baseline = run(1, false);
+  for (const uint32_t shards : {1u, 2u, 4u}) {
+    for (const bool threads : {false, true}) {
+      EXPECT_EQ(run(shards, threads), baseline)
+          << "shards=" << shards << " threads=" << threads;
+    }
+  }
+}
+
+TEST(OverloadClusterTest, LsmKvDeadlineAdmissionShedsDoomedPuts) {
+  // Durable puts are expensive (WAL sync per op): drive them open-loop past
+  // the knee and the PR 5 deadline machinery must shed rather than queue.
+  OverloadClusterOptions options = LsmKvOptions();
+  options.requests_per_client = 64;
+  options.interarrival = 15 * sim::kMicrosecond;
+  options.deadline = 800 * sim::kMicrosecond;
+  options.policy.enabled = true;
+  options.policy.admission.max_pending = 24;
+  options.policy.admission.max_backlog = 500 * sim::kMicrosecond;
+  OverloadCluster cluster(options);
+  const OverloadResult result = cluster.Run();
+  EXPECT_EQ(result.failed, 0u);
+  EXPECT_GT(result.ok, 0u);
+  EXPECT_GT(result.rejected, 0u);  // admission answered doomed work early
+  EXPECT_EQ(result.admitted + result.shed_queue + result.shed_deadline, result.served);
+}
+
 TEST(OverloadClusterTest, AdmissionControlIsTransparentUnderLightLoad) {
   // 800us/client arrivals: well under the knee — the policy must not shed.
   OverloadClusterOptions light = SmallClusterOptions(/*admission=*/true);

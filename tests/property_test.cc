@@ -14,6 +14,7 @@
 #include <algorithm>
 #include <functional>
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "src/common/rng.h"
@@ -21,9 +22,12 @@
 #include "src/ebpf/verifier.h"
 #include "src/ebpf/vm.h"
 #include "src/fs/extfs.h"
+#include "src/mem/object_store.h"
 #include "src/net/transport.h"
 #include "src/nvme/controller.h"
+#include "src/sim/engine.h"
 #include "src/sim/stats.h"
+#include "src/storage/corfu.h"
 
 namespace hyperion {
 namespace {
@@ -396,6 +400,183 @@ TEST(HistogramProperty, ValuesBelowSubBucketRangeAreExact) {
     EXPECT_EQ(hist.Percentile(q), ExactQuantile(sorted, q)) << "q=" << q;
   }
 }
+
+// -- Corfu log invariants --------------------------------------------------
+//
+// The replication layer (PR 9) leans on four CorfuLog invariants; this
+// drives a randomized schedule of racing writers against a reference model
+// and checks all of them at every step:
+//
+//   1. Write-once: for each position, the first WriteAt/Fill to land wins
+//      and every later attempt fails kAlreadyExists, regardless of
+//      interleaving.
+//   2. Prefix-readability: once holes are filled, every untrimmed position
+//      below the tail reads as data or as kDataLoss junk — never kNotFound.
+//   3. Trim is monotone and trimmed positions answer kOutOfRange even under
+//      readers holding older positions.
+//   4. kDataLoss surfaces exactly on junk-filled positions — including
+//      across a reopen of the log over the same store.
+
+namespace {
+
+class CorfuPropertyRig {
+ public:
+  CorfuPropertyRig() : ctrl_(&engine_) {
+    const uint32_t nsid = ctrl_.AddNamespace(1u << 18);
+    mem::ObjectStoreConfig config;
+    config.dram_bytes = 64u << 20;
+    config.hbm_bytes = 8u << 20;
+    config.nvme_nsid = nsid;
+    store_ = std::make_unique<mem::ObjectStore>(&engine_, &ctrl_, config);
+  }
+
+  sim::Engine engine_;
+  nvme::Controller ctrl_;
+  std::unique_ptr<mem::ObjectStore> store_;
+};
+
+Bytes CorfuEntry(uint64_t writer, uint64_t seq) {
+  Bytes entry;
+  PutU64(entry, writer);
+  PutU64(entry, seq);
+  return entry;
+}
+
+struct CorfuModelCell {
+  enum Kind { kHole, kData, kJunk } kind = kHole;
+  uint64_t writer = 0;
+  uint64_t seq = 0;
+};
+
+TEST(CorfuProperty, RacingWritersKeepLogInvariants) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    CorfuPropertyRig rig;
+    Rng rng(seed * 0x9e3779b97f4a7c15ull);
+    constexpr uint64_t kLogId = 40;
+    auto log = std::make_unique<storage::CorfuLog>(rig.store_.get(), kLogId);
+
+    std::map<uint64_t, CorfuModelCell> model;  // position -> settled state
+    std::vector<uint64_t> reserved;            // positions handed out, unwritten
+    uint64_t trim = 0;
+    uint64_t seq = 0;
+
+    for (int step = 0; step < 400; ++step) {
+      const uint64_t action = rng.Uniform(100);
+      if (action < 30) {  // reserve
+        const uint64_t pos = log->Reserve();
+        ASSERT_EQ(model.count(pos), 0u) << "position re-issued at seed " << seed;
+        ASSERT_TRUE(std::find(reserved.begin(), reserved.end(), pos) == reserved.end());
+        reserved.push_back(pos);
+      } else if (action < 60 && !reserved.empty()) {  // racing writers
+        const size_t pick = rng.Uniform(reserved.size());
+        const uint64_t pos = reserved[pick];
+        const uint64_t writer = rng.Uniform(4);
+        Bytes entry = CorfuEntry(writer, ++seq);
+        const Status wrote = log->WriteAt(pos, ByteSpan(entry.data(), entry.size()));
+        if (pos < trim) {
+          EXPECT_EQ(wrote.code(), StatusCode::kOutOfRange);
+          reserved.erase(reserved.begin() + static_cast<ptrdiff_t>(pick));
+          continue;
+        }
+        ASSERT_TRUE(wrote.ok()) << wrote.message();
+        model[pos] = CorfuModelCell{CorfuModelCell::kData, writer, seq};
+        reserved.erase(reserved.begin() + static_cast<ptrdiff_t>(pick));
+        // The race: every later writer (and filler) must lose, and the
+        // settled content must be the winner's.
+        Bytes loser = CorfuEntry(writer + 99, seq);
+        EXPECT_EQ(log->WriteAt(pos, ByteSpan(loser.data(), loser.size())).code(),
+                  StatusCode::kAlreadyExists);
+        EXPECT_EQ(log->Fill(pos).code(), StatusCode::kAlreadyExists);
+      } else if (action < 75 && !reserved.empty()) {  // hole fill wins the race
+        const size_t pick = rng.Uniform(reserved.size());
+        const uint64_t pos = reserved[pick];
+        const Status filled = log->Fill(pos);
+        reserved.erase(reserved.begin() + static_cast<ptrdiff_t>(pick));
+        if (pos < trim) {
+          EXPECT_EQ(filled.code(), StatusCode::kOutOfRange);
+          continue;
+        }
+        ASSERT_TRUE(filled.ok()) << filled.message();
+        model[pos] = CorfuModelCell{CorfuModelCell::kJunk, 0, 0};
+        // A slow writer arriving after the fill loses (kDataLoss stays).
+        Bytes late = CorfuEntry(7, seq);
+        EXPECT_EQ(log->WriteAt(pos, ByteSpan(late.data(), late.size())).code(),
+                  StatusCode::kAlreadyExists);
+      } else if (action < 80 && log->Tail() > trim) {  // trim forward
+        const uint64_t prefix = trim + 1 + rng.Uniform(log->Tail() - trim);
+        ASSERT_TRUE(log->Trim(prefix).ok());
+        trim = std::max(trim, prefix);
+        EXPECT_EQ(log->TrimPoint(), trim);
+        // Trim is monotone: re-trimming behind the point is a no-op.
+        ASSERT_TRUE(log->Trim(trim / 2).ok());
+        EXPECT_EQ(log->TrimPoint(), trim);
+        std::erase_if(reserved, [&](uint64_t pos) { return pos < trim; });
+      } else {  // read anywhere and compare against the model
+        const uint64_t tail = log->Tail();
+        if (tail == 0) {
+          continue;
+        }
+        const uint64_t pos = rng.Uniform(tail);
+        auto read = log->Read(pos);
+        if (pos < trim) {
+          EXPECT_EQ(read.status().code(), StatusCode::kOutOfRange) << pos;
+          continue;
+        }
+        auto cell = model.find(pos);
+        if (cell == model.end()) {
+          EXPECT_EQ(read.status().code(), StatusCode::kNotFound) << pos;
+        } else if (cell->second.kind == CorfuModelCell::kJunk) {
+          EXPECT_EQ(read.status().code(), StatusCode::kDataLoss) << pos;
+        } else {
+          ASSERT_TRUE(read.ok()) << pos << ": " << read.status().message();
+          EXPECT_EQ(GetU64(ByteSpan(read->data(), read->size()), 0), cell->second.writer);
+          EXPECT_EQ(GetU64(ByteSpan(read->data(), read->size()), 8), cell->second.seq);
+        }
+      }
+    }
+
+    // Repair pass: fill every remaining hole, then the untrimmed prefix
+    // below the tail must be fully readable (data or junk, no kNotFound).
+    const uint64_t tail = log->Tail();
+    for (uint64_t pos = trim; pos < tail; ++pos) {
+      if (model.count(pos) == 0) {
+        Status filled = log->Fill(pos);
+        ASSERT_TRUE(filled.ok() || filled.code() == StatusCode::kAlreadyExists);
+        model[pos] = CorfuModelCell{CorfuModelCell::kJunk, 0, 0};
+      }
+    }
+    for (uint64_t pos = trim; pos < tail; ++pos) {
+      auto read = log->Read(pos);
+      if (model[pos].kind == CorfuModelCell::kJunk) {
+        EXPECT_EQ(read.status().code(), StatusCode::kDataLoss) << pos;
+      } else {
+        EXPECT_TRUE(read.ok()) << pos;
+      }
+    }
+
+    // Reopen over the same store: tail never regresses past settled
+    // positions, reserve never re-issues, and junk still reads kDataLoss.
+    log = std::make_unique<storage::CorfuLog>(rig.store_.get(), kLogId);
+    EXPECT_EQ(log->TrimPoint(), trim);
+    const uint64_t fresh = log->Reserve();
+    EXPECT_GE(fresh, tail);
+    EXPECT_EQ(model.count(fresh), 0u);
+    for (const auto& [pos, cell] : model) {
+      if (pos < trim) {
+        continue;
+      }
+      auto read = log->Read(pos);
+      if (cell.kind == CorfuModelCell::kJunk) {
+        EXPECT_EQ(read.status().code(), StatusCode::kDataLoss) << pos;
+      } else {
+        ASSERT_TRUE(read.ok()) << pos;
+        EXPECT_EQ(GetU64(ByteSpan(read->data(), read->size()), 0), cell.writer);
+      }
+    }
+  }
+}
+
+}  // namespace
 
 }  // namespace
 }  // namespace hyperion

@@ -499,6 +499,74 @@ TEST_F(StorageTest, CorfuDetectsCorruption) {
   EXPECT_EQ(log.Read(*pos).status().code(), StatusCode::kDataLoss);
 }
 
+// Regression: the sequencer must be durable. A log reopened over the same
+// store used to restart its tail at 0 and re-issue handed-out positions,
+// silently overwriting nothing (write-once saves the data) but breaking
+// Reserve()'s uniqueness contract — every retry loop above it spun forever
+// on kAlreadyExists.
+TEST_F(StorageTest, CorfuSequencerSurvivesReopen) {
+  constexpr uint64_t kLogId = 7;
+  uint64_t reserved = 0;
+  {
+    CorfuLog log(store_.get(), kLogId);
+    for (int i = 0; i < 5; ++i) {
+      reserved = log.Reserve();
+    }
+    Bytes data = ToBytes("durable");
+    ASSERT_TRUE(log.WriteAt(reserved, ByteSpan(data.data(), data.size())).ok());
+  }
+  CorfuLog reopened(store_.get(), kLogId);
+  // The recovered tail may overestimate (chunked ceiling) but never hands
+  // out a position at or below anything previously reserved.
+  EXPECT_GT(reopened.Reserve(), reserved);
+  // Write-once still holds across the reopen.
+  Bytes late = ToBytes("late");
+  EXPECT_EQ(reopened.WriteAt(reserved, ByteSpan(late.data(), late.size())).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(ToString(ByteSpan(reopened.Read(reserved)->data(), reopened.Read(reserved)->size())),
+            "durable");
+}
+
+// Trim must survive a reopen too (same meta segment as the ceiling).
+TEST_F(StorageTest, CorfuTrimSurvivesReopen) {
+  constexpr uint64_t kLogId = 8;
+  {
+    CorfuLog log(store_.get(), kLogId);
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(log.Append(ToBytes("entry")).ok());
+    }
+    ASSERT_TRUE(log.Trim(6).ok());
+  }
+  CorfuLog reopened(store_.get(), kLogId);
+  EXPECT_EQ(reopened.TrimPoint(), 6u);
+  EXPECT_EQ(reopened.Read(3).status().code(), StatusCode::kOutOfRange);
+}
+
+// AdvanceTail (failover tail adoption) persists: a reopened log resumes
+// past the adopted tail.
+TEST_F(StorageTest, CorfuAdoptedTailSurvivesReopen) {
+  constexpr uint64_t kLogId = 9;
+  {
+    CorfuLog log(store_.get(), kLogId);
+    log.AdvanceTail(500);
+    EXPECT_EQ(log.Tail(), 500u);
+  }
+  CorfuLog reopened(store_.get(), kLogId);
+  EXPECT_GE(reopened.Tail(), 500u);
+  EXPECT_GE(reopened.Reserve(), 500u);
+}
+
+// A replica accepts writes at positions sequenced elsewhere: WriteAt past
+// the local tail advances it instead of rejecting.
+TEST_F(StorageTest, CorfuRemoteSequencedWriteAdvancesTail) {
+  CorfuLog log(store_.get(), 10);
+  Bytes data = ToBytes("remote");
+  ASSERT_TRUE(log.WriteAt(7, ByteSpan(data.data(), data.size())).ok());
+  EXPECT_EQ(log.Tail(), 8u);
+  EXPECT_EQ(log.Read(7).status().code(), StatusCode::kOk);
+  EXPECT_EQ(log.Read(3).status().code(), StatusCode::kNotFound);
+}
+
 // -- Transactions ---------------------------------------------------------
 
 class TxnTest : public StorageTest {

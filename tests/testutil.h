@@ -23,9 +23,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
 #include <memory>
 #include <string_view>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -33,6 +38,7 @@
 #include "src/common/rng.h"
 #include "src/dpu/cluster.h"
 #include "src/dpu/hyperion.h"
+#include "src/dpu/replication.h"
 #include "src/dpu/rpc.h"
 #include "src/dpu/services.h"
 #include "src/net/transport.h"
@@ -185,6 +191,121 @@ inline dpu::ClusterOptions SmallClusterOptions() {
   options.workload.write_pct = 50;
   options.workload.seed = 21;
   return options;
+}
+
+// -- Linearizability checker -----------------------------------------------
+//
+// Wing & Gong-style membership check over a RepHistOp history: per key
+// (keys are independent registers), search for a total order of the
+// operations that (a) respects real time — an op that returned before
+// another was invoked linearizes first — and (b) is a legal register
+// run — every successful get observes the tag of the latest linearized
+// put (or the initial tag). Failed puts are ambiguous: they may take
+// effect at any point after their invocation, or never; failed gets
+// observed nothing and are dropped.
+//
+// The search is a DFS over (set of linearized ops, current register
+// value), memoized, so the per-key cost is bounded by distinct
+// (mask, value) states rather than orderings. Keys are capped at 64 ops
+// (the mask is a u64); keep test workloads under that per-key.
+
+namespace internal {
+
+struct LinOp {
+  bool is_put = false;
+  bool ok = false;  // failed put = ambiguous; failed gets never reach here
+  uint64_t tag = 0;
+  sim::SimTime invoke_ns = 0;
+  sim::SimTime return_ns = 0;
+};
+
+inline bool KeyLinearizable(const std::vector<LinOp>& ops, uint64_t initial_tag) {
+  const size_t n = ops.size();
+  CHECK_LE(n, 64u) << "linearizability checker caps at 64 ops per key";
+  if (n == 0) {
+    return true;
+  }
+  const uint64_t full = n == 64 ? ~0ull : (1ull << n) - 1;
+  struct State {
+    uint64_t mask;
+    uint64_t value;
+    bool operator==(const State&) const = default;
+  };
+  struct StateHash {
+    size_t operator()(const State& s) const {
+      return std::hash<uint64_t>()(s.mask * 0x9e3779b97f4a7c15ull ^ s.value);
+    }
+  };
+  std::unordered_set<State, StateHash> visited;
+  std::vector<State> stack{{0, initial_tag}};
+  while (!stack.empty()) {
+    const State state = stack.back();
+    stack.pop_back();
+    if (state.mask == full) {
+      return true;
+    }
+    if (!visited.insert(state).second) {
+      continue;
+    }
+    // An unlinearized op is minimal (eligible to go next) iff no other
+    // unlinearized op returned before it was invoked.
+    sim::SimTime min_return = ~sim::SimTime{0};
+    for (size_t i = 0; i < n; ++i) {
+      if ((state.mask & (1ull << i)) != 0) {
+        continue;
+      }
+      if (ops[i].ok) {  // a failed put never returned: no constraint
+        min_return = std::min(min_return, ops[i].return_ns);
+      }
+    }
+    for (size_t i = 0; i < n; ++i) {
+      if ((state.mask & (1ull << i)) != 0 || ops[i].invoke_ns > min_return) {
+        continue;
+      }
+      const uint64_t next_mask = state.mask | (1ull << i);
+      if (ops[i].is_put) {
+        stack.push_back({next_mask, ops[i].tag});
+        if (!ops[i].ok) {
+          // The ambiguous branch: the failed put never takes effect.
+          stack.push_back({next_mask, state.value});
+        }
+      } else if (ops[i].tag == state.value) {
+        stack.push_back({next_mask, state.value});
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace internal
+
+// True iff `history` is linearizable per key. `initial_tag(key)` gives the
+// register's value before the history starts (the harness preload tag).
+// On failure, `bad_key` (if given) receives the first unlinearizable key.
+inline bool IsLinearizable(const std::vector<dpu::RepHistOp>& history,
+                           const std::function<uint64_t(uint64_t)>& initial_tag,
+                           uint64_t* bad_key = nullptr) {
+  std::map<uint64_t, std::vector<internal::LinOp>> by_key;
+  for (const dpu::RepHistOp& op : history) {
+    if (op.kind == dpu::RepHistOp::kGet && !op.ok) {
+      continue;
+    }
+    by_key[op.key].push_back(internal::LinOp{op.kind == dpu::RepHistOp::kPut, op.ok,
+                                             op.tag, op.invoke_ns, op.return_ns});
+  }
+  for (auto& [key, ops] : by_key) {
+    std::stable_sort(ops.begin(), ops.end(),
+                     [](const internal::LinOp& a, const internal::LinOp& b) {
+                       return a.invoke_ns < b.invoke_ns;
+                     });
+    if (!internal::KeyLinearizable(ops, initial_tag(key))) {
+      if (bad_key != nullptr) {
+        *bad_key = key;
+      }
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace hyperion::testutil
