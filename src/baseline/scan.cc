@@ -1,0 +1,54 @@
+#include "src/baseline/scan.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace hyperion::baseline {
+
+Result<format::ScanResult> HostScanPath::Execute(const format::NvmeParquetFile& table,
+                                                 const format::ScanQuery& query) {
+  const sim::SimTime start = engine_->Now();
+  const uint64_t device_before = table.device_bytes_moved();
+  const uint64_t file_size = table.file_size();
+
+  // open(2).
+  cpu_.Syscall();
+
+  // The block stack streams the whole file device->page-cache in
+  // readahead-sized I/Os: syscall + VFS/blk-mq + completion IRQ per I/O.
+  Bytes file;
+  file.reserve(file_size);
+  for (uint64_t off = 0; off < file_size; off += params_.io_bytes) {
+    const uint64_t len = std::min<uint64_t>(params_.io_bytes, file_size - off);
+    cpu_.Syscall();
+    cpu_.BlockStackIo();
+    ASSIGN_OR_RETURN(Bytes piece, table.ReadDevice(off, len));
+    cpu_.Interrupt();
+    file.insert(file.end(), piece.begin(), piece.end());
+  }
+
+  // One kernel->user crossing of the whole file — the host bounce the
+  // CPU-free path never pays.
+  cpu_.Copy(file_size);
+
+  ASSIGN_OR_RETURN(format::ParquetReader reader,
+                   format::ParquetReader::OpenBuffer(std::move(file)));
+
+  format::ScanResult result;
+  const format::ScanChargeFn charge = [this](uint64_t bytes, uint64_t rows) -> Status {
+    cpu_.Compute(static_cast<uint64_t>(static_cast<double>(bytes) *
+                                       params_.decode_cycles_per_byte) +
+                 rows * params_.per_row_cycles);
+    return Status::Ok();
+  };
+  ASSIGN_OR_RETURN(result.output, format::EvaluateScanQuery(reader, query, charge,
+                                                            &result.stats));
+  result.stats.device_bytes_moved = table.device_bytes_moved() - device_before;
+  result.stats.host_bytes_copied = file_size;
+  result.stats.reconfigured = false;
+  result.stats.reconfig_ns = 0;
+  result.stats.exec_ns = static_cast<uint64_t>(engine_->Now() - start);
+  return result;
+}
+
+}  // namespace hyperion::baseline

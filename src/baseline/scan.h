@@ -1,0 +1,54 @@
+// Host-path analytics scan: the Table 1 contrast arm for E18.
+//
+// The same Parquet query the FPGA scan kernel streams from NVMe, executed
+// the way a pairwise-integrated host runs it: the kernel block stack reads
+// the *whole file* from the device into the page cache (no zone-map pruning
+// can help until the footer is in DRAM, and by then every byte has already
+// crossed the bus), one kernel->user copy hands it to the query engine, and
+// the CPU evaluates the identical shared loop (EvaluateScanQuery) in
+// software cycles. Outputs are bit-identical to the fabric path — only the
+// bytes-moved and latency accounting differ, which is the experiment.
+
+#ifndef HYPERION_SRC_BASELINE_SCAN_H_
+#define HYPERION_SRC_BASELINE_SCAN_H_
+
+#include <cstdint>
+
+#include "src/baseline/host.h"
+#include "src/common/result.h"
+#include "src/format/scan_kernel.h"
+#include "src/sim/engine.h"
+
+namespace hyperion::baseline {
+
+struct HostScanParams {
+  HostCostParams cpu;
+  uint64_t io_bytes = 128 * 1024;        // readahead-sized block-stack reads
+  double decode_cycles_per_byte = 1.5;   // software Parquet decode
+  uint64_t per_row_cycles = 12;          // branchy scalar filter/aggregate
+};
+
+// Prices one query end to end on the host path. Stateless between queries
+// apart from the accumulated HostCpu counters.
+class HostScanPath {
+ public:
+  HostScanPath(sim::Engine* engine, HostScanParams params = HostScanParams())
+      : engine_(engine), cpu_(engine, params.cpu), params_(params) {}
+
+  // Reads `table`'s whole extent through the block stack, copies it to user
+  // space, then evaluates `query` with CPU-cycle charging. ScanStats records
+  // the full-file device traffic and the kernel->user copy.
+  Result<format::ScanResult> Execute(const format::NvmeParquetFile& table,
+                                     const format::ScanQuery& query);
+
+  HostCpu& cpu() { return cpu_; }
+
+ private:
+  sim::Engine* engine_;
+  HostCpu cpu_;
+  HostScanParams params_;
+};
+
+}  // namespace hyperion::baseline
+
+#endif  // HYPERION_SRC_BASELINE_SCAN_H_

@@ -40,6 +40,7 @@ enum class ServiceId : uint16_t {
   kApp = 6,    // Willow-style user RPC: opcode = accelerator id, payload = ctx
   kRepKv = 7,  // replicated KV: Corfu chain replication + epoch/seal failover
   kLsmKv = 8,  // LSM engine (PR 6) served as an RPC workload (KvOp opcodes)
+  kScan = 9,   // analytics scan pushdown (PR 10): FPGA Parquet scan kernels
 };
 
 // Absolute virtual-time deadline meaning "no deadline".

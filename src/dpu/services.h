@@ -52,6 +52,12 @@ struct FileOp {
   static constexpr uint16_t kResolve = 1;  // [path str] -> [inode u32]
   static constexpr uint16_t kRead = 2;     // [path str][off u64][len u64] -> data
 };
+struct ScanOp {
+  // Analytics scan pushdown (PR 10): Parquet queries executed by FPGA scan
+  // kernels reading directly from NVMe (format/scan_kernel.h wire codecs).
+  static constexpr uint16_t kQuery = 1;      // SerializeScanQuery -> SerializeScanResult
+  static constexpr uint16_t kTableInfo = 2;  // -> [rows u64][file_size u64][groups u32]
+};
 // The kApp service needs no opcode table: the opcode *is* the accelerator
 // id returned by ControlOp::kDeploy, the payload is the program's context
 // buffer, and the response is [r0 u64][mutated ctx] — Willow's

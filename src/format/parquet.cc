@@ -116,11 +116,13 @@ Result<Bytes> WriteParquet(const RecordBatch& batch, ParquetWriteOptions options
             encoded = std::move(plain);
             chunk.encoding = Encoding::kPlain;
           }
-          chunk.has_zone_map = true;
-          chunk.min = *std::min_element(values.begin() + static_cast<ptrdiff_t>(begin),
-                                        values.begin() + static_cast<ptrdiff_t>(end));
-          chunk.max = *std::max_element(values.begin() + static_cast<ptrdiff_t>(begin),
-                                        values.begin() + static_cast<ptrdiff_t>(end));
+          if (options.zone_maps) {
+            chunk.has_zone_map = true;
+            chunk.min = *std::min_element(values.begin() + static_cast<ptrdiff_t>(begin),
+                                          values.begin() + static_cast<ptrdiff_t>(end));
+            chunk.max = *std::max_element(values.begin() + static_cast<ptrdiff_t>(begin),
+                                          values.begin() + static_cast<ptrdiff_t>(end));
+          }
           break;
         }
         case ColumnType::kFloat64:
@@ -176,7 +178,9 @@ Result<Bytes> WriteParquet(const RecordBatch& batch, ParquetWriteOptions options
 }
 
 Result<Bytes> ParquetReader::Fetch(uint64_t offset, uint64_t length) {
-  if (offset + length > file_size_) {
+  // Checked as "offset > size - length" so a corrupt footer whose
+  // offset+length wraps uint64 cannot sneak past the bound.
+  if (length > file_size_ || offset > file_size_ - length) {
     return OutOfRange("fetch past end of file");
   }
   bytes_fetched_ += length;
@@ -193,7 +197,7 @@ Result<ParquetReader> ParquetReader::OpenBuffer(Bytes file) {
   auto shared = std::make_shared<Bytes>(std::move(file));
   const uint64_t size = shared->size();
   return Open(size, [shared](uint64_t offset, uint64_t length) -> Result<Bytes> {
-    if (offset + length > shared->size()) {
+    if (length > shared->size() || offset > shared->size() - length) {
       return OutOfRange("buffer fetch out of range");
     }
     return Bytes(shared->begin() + static_cast<ptrdiff_t>(offset),
@@ -210,7 +214,9 @@ Status ParquetReader::ParseFooter() {
   if (GetU32(tail, 4) != kMagic) {
     return DataLoss("bad trailing magic (not an HPQ file)");
   }
-  if (footer_size + 12 > file_size_) {
+  // uint64 arithmetic: a footer_size near UINT32_MAX must not wrap the sum
+  // back under file_size_ and walk Fetch off the front of the file.
+  if (uint64_t{footer_size} + 12 > file_size_) {
     return DataLoss("footer size exceeds file");
   }
   ASSIGN_OR_RETURN(Bytes footer, Fetch(file_size_ - 8 - footer_size, footer_size));
@@ -230,22 +236,49 @@ Status ParquetReader::ParseFooter() {
   for (uint32_t f = 0; f < field_count; ++f) {
     Field field;
     field.name = reader.ReadString();
-    field.type = static_cast<ColumnType>(reader.ReadU8());
+    const uint8_t type_byte = reader.ReadU8();
+    if (!reader.Ok()) {
+      return DataLoss("footer truncated");
+    }
+    if (type_byte > static_cast<uint8_t>(ColumnType::kString)) {
+      return DataLoss("unknown column type");
+    }
+    field.type = static_cast<ColumnType>(type_byte);
     schema_.push_back(std::move(field));
   }
   const uint32_t group_count = reader.ReadU32();
+  // Every group record is >= 8 + 34 * fields bytes, so any plausible count
+  // fits the footer we already have in hand; reject before the loop rather
+  // than spinning a 4-billion-iteration parse on a zero-filled reader.
+  if (!reader.Ok() || uint64_t{group_count} * 8 > reader.remaining()) {
+    return DataLoss("implausible row group count");
+  }
   groups_.clear();
   for (uint32_t g = 0; g < group_count; ++g) {
     RowGroupMeta group;
     group.rows = reader.ReadU64();
+    if (group.rows > (1ull << 40)) {
+      return DataLoss("implausible row count");
+    }
     for (uint32_t c = 0; c < field_count; ++c) {
       ChunkMeta chunk;
       chunk.offset = reader.ReadU64();
       chunk.bytes = reader.ReadU64();
-      chunk.encoding = static_cast<Encoding>(reader.ReadU8());
+      const uint8_t encoding_byte = reader.ReadU8();
       chunk.has_zone_map = reader.ReadU8() != 0;
       chunk.min = static_cast<int64_t>(reader.ReadU64());
       chunk.max = static_cast<int64_t>(reader.ReadU64());
+      if (!reader.Ok()) {
+        return DataLoss("footer truncated");
+      }
+      if (encoding_byte > static_cast<uint8_t>(Encoding::kDictionary)) {
+        return DataLoss("unknown chunk encoding");
+      }
+      chunk.encoding = static_cast<Encoding>(encoding_byte);
+      // Overflow-safe containment: offset + bytes must stay inside the file.
+      if (chunk.bytes > file_size_ || chunk.offset > file_size_ - chunk.bytes) {
+        return DataLoss("chunk extends past end of file");
+      }
       group.chunks.push_back(chunk);
     }
     groups_.push_back(std::move(group));
@@ -254,6 +287,15 @@ Status ParquetReader::ParseFooter() {
     return DataLoss("footer truncated");
   }
   return Status::Ok();
+}
+
+Result<size_t> ParquetReader::FieldIndex(const std::string& name) const {
+  for (size_t i = 0; i < schema_.size(); ++i) {
+    if (schema_[i].name == name) {
+      return i;
+    }
+  }
+  return NotFound("no column named " + name);
 }
 
 uint64_t ParquetReader::TotalRows() const {
@@ -271,8 +313,13 @@ Result<ColumnData> ParquetReader::DecodeChunk(const ChunkMeta& chunk, ColumnType
   switch (type) {
     case ColumnType::kInt64: {
       std::vector<int64_t> values;
-      values.reserve(rows);
+      // Reservations are bounded by the bytes actually in hand, never by the
+      // (attacker-controlled) footer row count alone.
+      values.reserve(std::min<uint64_t>(rows, raw.size() / 8 + 1));
       if (chunk.encoding == Encoding::kPlain) {
+        if (chunk.bytes != rows * 8) {
+          return DataLoss("int64 chunk size mismatch");
+        }
         for (uint64_t i = 0; i < rows; ++i) {
           values.push_back(static_cast<int64_t>(reader.ReadU64()));
         }
@@ -294,6 +341,12 @@ Result<ColumnData> ParquetReader::DecodeChunk(const ChunkMeta& chunk, ColumnType
       return ColumnData(std::move(values));
     }
     case ColumnType::kFloat64: {
+      if (chunk.encoding != Encoding::kPlain) {
+        return DataLoss("bad encoding for float64 chunk");
+      }
+      if (chunk.bytes != rows * 8) {
+        return DataLoss("float64 chunk size mismatch");
+      }
       std::vector<double> values;
       values.reserve(rows);
       for (uint64_t i = 0; i < rows; ++i) {
@@ -309,13 +362,21 @@ Result<ColumnData> ParquetReader::DecodeChunk(const ChunkMeta& chunk, ColumnType
     }
     case ColumnType::kString: {
       std::vector<std::string> values;
-      values.reserve(rows);
+      // Each plain string costs >= 4 length bytes, each dictionary index
+      // exactly 4: bound the reservation by the chunk's own size.
+      values.reserve(std::min<uint64_t>(rows, raw.size() / 4 + 1));
       if (chunk.encoding == Encoding::kPlain) {
         for (uint64_t i = 0; i < rows; ++i) {
           values.push_back(reader.ReadString());
+          if (!reader.Ok()) {
+            return DataLoss("truncated string chunk");
+          }
         }
       } else if (chunk.encoding == Encoding::kDictionary) {
         const uint32_t entries = reader.ReadU32();
+        if (!reader.Ok() || uint64_t{entries} * 4 > reader.remaining()) {
+          return DataLoss("corrupt dictionary header");
+        }
         std::vector<std::string> dict;
         dict.reserve(entries);
         for (uint32_t e = 0; e < entries; ++e) {
@@ -381,24 +442,18 @@ Result<RecordBatch> ParquetReader::ReadRowGroup(size_t group,
 Result<RecordBatch> ParquetReader::ScanInt64Filter(const std::string& filter_column, int64_t lo,
                                                    int64_t hi,
                                                    const std::vector<std::string>& projection) {
-  size_t filter_idx = schema_.size();
-  for (size_t i = 0; i < schema_.size(); ++i) {
-    if (schema_[i].name == filter_column) {
-      filter_idx = i;
-      break;
-    }
-  }
-  if (filter_idx == schema_.size() || schema_[filter_idx].type != ColumnType::kInt64) {
+  auto filter_field = FieldIndex(filter_column);
+  if (!filter_field.ok() || schema_[*filter_field].type != ColumnType::kInt64) {
     return InvalidArgument("filter column must be an int64 column");
   }
+  const size_t filter_idx = *filter_field;
   std::vector<std::string> needed = projection;
   if (std::find(needed.begin(), needed.end(), filter_column) == needed.end()) {
     needed.push_back(filter_column);
   }
   std::vector<RecordBatch> parts;
   for (size_t g = 0; g < groups_.size(); ++g) {
-    const ChunkMeta& chunk = groups_[g].chunks[filter_idx];
-    if (chunk.has_zone_map && (chunk.max < lo || chunk.min > hi)) {
+    if (ZoneMapExcludes(groups_[g].chunks[filter_idx], lo, hi)) {
       ++groups_skipped_;
       continue;
     }

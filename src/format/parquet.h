@@ -51,7 +51,19 @@ struct RowGroupMeta {
 
 struct ParquetWriteOptions {
   uint64_t rows_per_group = 4096;
+  // Omit zone maps entirely (has_zone_map = false on every chunk). Readers
+  // must then treat every row group as a potential match — the pushdown
+  // layers cross-check both shapes against each other.
+  bool zone_maps = true;
 };
+
+// The one zone-map predicate everyone shares (reader scans, FPGA scan
+// kernels, the host baseline): true when the zone map *proves* no row of
+// `chunk` can satisfy value in [lo, hi], both edges inclusive. A chunk
+// without a zone map can never be excluded.
+inline bool ZoneMapExcludes(const ChunkMeta& chunk, int64_t lo, int64_t hi) {
+  return chunk.has_zone_map && (chunk.max < lo || chunk.min > hi);
+}
 
 // Serializes a batch into the file format.
 Result<Bytes> WriteParquet(const RecordBatch& batch,
@@ -69,6 +81,13 @@ class ParquetReader {
   const Schema& schema() const { return schema_; }
   size_t RowGroupCount() const { return groups_.size(); }
   uint64_t TotalRows() const;
+
+  // Footer metadata for one row group — what a pushdown engine plans chunk
+  // fetches and zone-map skips from without touching data pages.
+  const RowGroupMeta& GroupMeta(size_t group) const { return groups_[group]; }
+
+  // Index of `name` in the schema; kNotFound when absent.
+  Result<size_t> FieldIndex(const std::string& name) const;
 
   // Materializes one row group, fetching only the chunks of `columns`
   // (empty = all columns).

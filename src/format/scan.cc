@@ -19,7 +19,7 @@ Result<Int64Aggregates> AggregateInt64(const RecordBatch& batch, const std::stri
   agg.min = values[0];
   agg.max = values[0];
   for (int64_t v : values) {
-    agg.sum += v;
+    agg.sum = WrapAddInt64(agg.sum, v);
     agg.min = std::min(agg.min, v);
     agg.max = std::max(agg.max, v);
   }
@@ -67,7 +67,8 @@ Result<std::vector<std::pair<std::string, int64_t>>> GroupedSum(const RecordBatc
   const auto& values = batch.Int64Column(vidx);
   std::map<std::string, int64_t> sums;
   for (size_t r = 0; r < groups.size(); ++r) {
-    sums[groups[r]] += values[r];
+    int64_t& sum = sums[groups[r]];
+    sum = WrapAddInt64(sum, values[r]);
   }
   return std::vector<std::pair<std::string, int64_t>>(sums.begin(), sums.end());
 }

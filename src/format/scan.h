@@ -13,14 +13,25 @@
 
 namespace hyperion::format {
 
+// a + b modulo 2^64 (two's-complement wrap) — what a 64-bit hardware
+// accumulator does. Shared by every sum path so overflow is defined
+// behaviour everywhere arbitrary table data flows.
+inline int64_t WrapAddInt64(int64_t a, int64_t b) {
+  return static_cast<int64_t>(static_cast<uint64_t>(a) + static_cast<uint64_t>(b));
+}
+
 struct Int64Aggregates {
   uint64_t count = 0;
-  int64_t sum = 0;
+  int64_t sum = 0;  // modulo 2^64 (two's-complement wrap), like the hardware
   int64_t min = 0;
   int64_t max = 0;
+
+  bool operator==(const Int64Aggregates&) const = default;
 };
 
-// count/sum/min/max of an int64 column.
+// count/sum/min/max of an int64 column. An empty column yields the
+// all-zero aggregate (count == 0 is the "no rows" discriminant). Sums wrap
+// modulo 2^64 — never UB, pinned by tests at INT64_MAX/INT64_MIN.
 Result<Int64Aggregates> AggregateInt64(const RecordBatch& batch, const std::string& column);
 
 // Sum of a float64 column.

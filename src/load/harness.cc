@@ -102,7 +102,105 @@ dpu::RpcResponse OverloadCluster::ServerNode::HandleLsm(uint16_t opcode,
   }
 }
 
-OverloadCluster::ClientNode::ClientNode(OverloadCluster* cluster, uint32_t id) : id(id) {
+OverloadCluster::AnalyticsTenant::AnalyticsTenant(OverloadCluster* cluster)
+    : exec(cluster->options_.analytics_spatial ? &clock : &cluster->server_->clock) {
+  const OverloadClusterOptions& opts = cluster->options_;
+  if (!opts.scan_faults.empty()) {
+    injector = std::make_unique<sim::FaultInjector>(exec, opts.scan_faults,
+                                                    opts.scan_fault_seed);
+  }
+  nvme = std::make_unique<nvme::Controller>(exec);
+  if (injector) {
+    nvme->SetFaultInjector(injector.get());
+  }
+  fpga::FabricConfig fabric_config;
+  fabric_config.regions = opts.scan_fabric_regions;
+  fabric = std::make_unique<fpga::Fabric>(exec, fabric_config);
+  if (injector) {
+    fabric->SetFaultInjector(injector.get());
+  }
+  scheduler = std::make_unique<fpga::SlotScheduler>(exec, fabric.get());
+
+  // Deterministic Parquet table: sequential order ids (tight per-group zone
+  // maps, so range predicates prune), mixed-sign amounts, 7 regions.
+  table_rows = opts.scan_table_rows;
+  std::vector<int64_t> order_id(table_rows);
+  std::vector<int64_t> amount(table_rows);
+  std::vector<std::string> region(table_rows);
+  for (uint64_t i = 0; i < table_rows; ++i) {
+    order_id[i] = static_cast<int64_t>(i);
+    amount[i] = static_cast<int64_t>((i * 0x9e3779b9ull + 12345) % 100000) - 50000;
+    region[i] = std::string("r") + static_cast<char>('0' + (i * 2654435761ull >> 7) % 7);
+  }
+  format::Schema schema = {{"order_id", format::ColumnType::kInt64},
+                           {"amount", format::ColumnType::kInt64},
+                           {"region", format::ColumnType::kString}};
+  std::vector<format::ColumnData> columns;
+  columns.emplace_back(std::move(order_id));
+  columns.emplace_back(std::move(amount));
+  columns.emplace_back(std::move(region));
+  auto batch = format::RecordBatch::Make(std::move(schema), std::move(columns));
+  CHECK_OK(batch.status());
+  format::ParquetWriteOptions write_options;
+  write_options.rows_per_group = opts.scan_rows_per_group;
+  auto file = format::WriteParquet(*batch, write_options);
+  CHECK_OK(file.status());
+  table_groups = static_cast<uint32_t>((table_rows + opts.scan_rows_per_group - 1) /
+                                       opts.scan_rows_per_group);
+  const uint64_t lbas = (file->size() + nvme::kLbaSize - 1) / nvme::kLbaSize + 8;
+  const uint32_t nsid = nvme->AddNamespace(lbas);
+  auto stored = format::NvmeParquetFile::Store(nvme.get(), nsid, 0, *file);
+  CHECK_OK(stored.status());
+  table = std::make_unique<format::NvmeParquetFile>(std::move(*stored));
+  kernel = std::make_unique<format::FpgaScanKernel>(exec, fabric.get(), scheduler.get());
+
+  auto handler = [this](uint16_t opcode, const Buffer& payload) {
+    return HandleScan(opcode, payload);
+  };
+  if (opts.analytics_spatial) {
+    // Spatial multiplexing: the analytics tenant is its own pipeline (own
+    // RpcServer, own node clock) on node 0's shard — KV head-of-line
+    // behaviour cannot leak into it, nor it into KV.
+    rpc.RegisterService(dpu::ServiceId::kScan, handler);
+    endpoint = std::make_unique<dpu::ShardedRpcNode>(
+        cluster->engine_.get(), cluster->ShardOf(0), &rpc, &clock, opts.fabric,
+        opts.fabric.default_link_gbps);
+  } else {
+    // Time-shared contrast arm: scans ride the KV pipeline and advance the
+    // KV server's clock — every queued KV request behind a scan waits.
+    cluster->server_->dpu.rpc().RegisterService(dpu::ServiceId::kScan, handler);
+  }
+}
+
+dpu::RpcResponse OverloadCluster::AnalyticsTenant::HandleScan(uint16_t opcode,
+                                                              const Buffer& payload) {
+  exec->Advance(1200);  // shell datapath cost, same as the plain services
+  switch (opcode) {
+    case dpu::ScanOp::kQuery: {
+      auto query = format::ParseScanQuery(payload);
+      if (!query.ok()) {
+        return dpu::RpcResponse::Fail(query.status());
+      }
+      auto result = kernel->Execute(*table, *query);
+      if (!result.ok()) {
+        return dpu::RpcResponse::Fail(result.status());
+      }
+      return dpu::RpcResponse::Ok(Buffer(format::SerializeScanResult(*result)));
+    }
+    case dpu::ScanOp::kTableInfo: {
+      ByteWriter out(20);
+      out.PutU64(table_rows);
+      out.PutU64(table->file_size());
+      out.PutU32(table_groups);
+      return dpu::RpcResponse::Ok(Buffer(out.Take()));
+    }
+    default:
+      return dpu::RpcResponse::Fail(Unimplemented("unknown scan opcode"));
+  }
+}
+
+OverloadCluster::ClientNode::ClientNode(OverloadCluster* cluster, uint32_t id, bool analytics)
+    : id(id), analytics(analytics) {
   endpoint = std::make_unique<dpu::ShardedRpcNode>(
       cluster->engine_.get(), cluster->ShardOf(id), /*server=*/nullptr, &clock,
       cluster->options_.fabric, cluster->options_.fabric.default_link_gbps);
@@ -124,11 +222,17 @@ OverloadCluster::OverloadCluster(const OverloadClusterOptions& options) : option
   engine_ = std::make_unique<sim::ParallelEngine>(popts);
 
   // Id-ordered construction pins the cross-shard source order: server is
-  // node 0, clients 1..N.
+  // node 0 (KV endpoint first, analytics endpoint second on the same
+  // shard), clients 1..N, analytics clients N+1..N+M.
   server_ = std::make_unique<ServerNode>(this);
-  clients_.reserve(options_.num_clients);
-  for (uint32_t id = 1; id <= options_.num_clients; ++id) {
-    clients_.push_back(std::make_unique<ClientNode>(this, id));
+  if (options_.analytics_clients > 0) {
+    analytics_ = std::make_unique<AnalyticsTenant>(this);
+  }
+  const uint32_t total_clients = options_.num_clients + options_.analytics_clients;
+  clients_.reserve(total_clients);
+  for (uint32_t id = 1; id <= total_clients; ++id) {
+    clients_.push_back(
+        std::make_unique<ClientNode>(this, id, /*analytics=*/id > options_.num_clients));
   }
 }
 
@@ -154,9 +258,22 @@ OverloadResult OverloadCluster::Run() {
   const sim::SimTime start_base = server_->clock.Now() + 1000;
   const uint64_t node_stride =
       7ull * (options_.open_loop ? 1 : std::max<uint32_t>(1, options_.closed_clients));
-  const uint64_t max_slba = options_.lbas_per_device - options_.read_blocks;
   for (auto& owned : clients_) {
     ClientNode* client = owned.get();
+    if (client->analytics) {
+      StartScanClient(client, start_base, node_stride);
+    } else {
+      StartKvClient(client, start_base, node_stride);
+    }
+  }
+  engine_->Run();
+  return Collect(start_base);
+}
+
+void OverloadCluster::StartKvClient(ClientNode* client, sim::SimTime start_base,
+                                    uint64_t node_stride) {
+  const uint64_t max_slba = options_.lbas_per_device - options_.read_blocks;
+  {
     LoadGenOptions gopts;
     gopts.open_loop = options_.open_loop;
     gopts.interarrival = options_.interarrival;
@@ -218,20 +335,107 @@ OverloadResult OverloadCluster::Run() {
         });
     client->gen->Start();
   }
-  engine_->Run();
+}
 
+void OverloadCluster::StartScanClient(ClientNode* client, sim::SimTime start_base,
+                                      uint64_t node_stride) {
+  LoadGenOptions gopts;
+  gopts.open_loop = true;
+  gopts.interarrival = options_.scan_interarrival;
+  gopts.total_requests = options_.scan_requests_per_client;
+  gopts.deadline = options_.scan_deadline;
+  gopts.start = start_base + (client->id - 1) * node_stride;
+  dpu::ShardedRpcNode* target =
+      options_.analytics_spatial ? analytics_->endpoint.get() : server_->endpoint.get();
+  const uint64_t table_rows = options_.scan_table_rows;
+  client->gen = std::make_unique<LoadGen>(
+      &engine_->shard(ShardOf(client->id)), gopts,
+      [this, client, target, table_rows](uint64_t seq, sim::SimTime deadline,
+                                         LoadGen::DoneFn done) {
+        // Deterministic per-(client, seq) query: the kernel kind rotates
+        // (forcing ICAP swaps on a small fabric) and the predicate range
+        // walks the order-id space (zone maps prune most groups).
+        const uint64_t h = (seq * 0x9e3779b97f4a7c15ull) ^ (uint64_t{client->id} << 32);
+        format::ScanQuery query;
+        query.kind = static_cast<format::ScanKernelKind>(h % format::kScanKernelKindCount);
+        query.filter_column = "order_id";
+        const uint64_t span = std::max<uint64_t>(1, table_rows / 8);
+        const uint64_t lo = (h >> 8) % (table_rows - span + 1);
+        query.lo = static_cast<int64_t>(lo);
+        query.hi = static_cast<int64_t>(lo + span - 1);
+        query.value_column = "amount";
+        query.group_column = "region";
+        dpu::RpcRequest request;
+        request.service = dpu::ServiceId::kScan;
+        request.opcode = dpu::ScanOp::kQuery;
+        request.payload = Buffer(format::SerializeScanQuery(query));
+        request.deadline = deadline;
+        client->endpoint->CallAsync(
+            target, request,
+            [client, h, done = std::move(done)](Result<dpu::RpcResponse> result) {
+              if (!result.ok()) {
+                done(Outcome::kFailed);
+                return;
+              }
+              if (!result->status.ok()) {
+                done(result->status.code() == StatusCode::kResourceExhausted
+                         ? Outcome::kRejected
+                         : Outcome::kFailed);
+                return;
+              }
+              auto scan = format::ParseScanResult(result->payload);
+              if (!scan.ok()) {
+                done(Outcome::kFailed);
+                return;
+              }
+              // Commutative folds only: completion order across clients is
+              // not layout-pinned, per-(client, seq) salting keeps the
+              // fingerprint sensitive to which query produced what.
+              client->scan_fingerprint ^=
+                  scan->output.Fingerprint() ^ (h * 0x2545f4914f6cdd1dull);
+              client->scan_rows_matched += scan->output.rows_matched;
+              client->scan_chunk_bytes += scan->stats.chunk_bytes_fetched;
+              client->scan_device_bytes += scan->stats.device_bytes_moved;
+              client->scan_groups_skipped += scan->stats.groups_skipped;
+              if (scan->stats.reconfigured) {
+                ++client->scan_reconfigs;
+                client->reconfig_latency.Record(scan->stats.reconfig_ns);
+              }
+              done(Outcome::kOk);
+            });
+      });
+  client->gen->Start();
+}
+
+OverloadResult OverloadCluster::Collect(sim::SimTime start_base) {
   OverloadResult result;
+  sim::Histogram reconfig;
   for (auto& client : clients_) {
     const LoadStats& stats = client->gen->stats();
-    result.issued += stats.issued;
-    result.ok += stats.ok;
-    result.rejected += stats.rejected;
-    result.failed += stats.failed;
-    result.deadline_missed += stats.deadline_missed;
     if (stats.last_completion > start_base) {
       result.makespan_ns = std::max(result.makespan_ns, stats.last_completion - start_base);
     }
-    merged_latency_.Merge(client->gen->latency());
+    if (client->analytics) {
+      result.scan_issued += stats.issued;
+      result.scan_ok += stats.ok;
+      result.scan_rejected += stats.rejected;
+      result.scan_failed += stats.failed + stats.deadline_missed;
+      result.scan_fingerprint ^= client->scan_fingerprint;
+      result.scan_rows_matched += client->scan_rows_matched;
+      result.scan_chunk_bytes += client->scan_chunk_bytes;
+      result.scan_device_bytes += client->scan_device_bytes;
+      result.scan_groups_skipped += client->scan_groups_skipped;
+      result.scan_reconfigs += client->scan_reconfigs;
+      reconfig.Merge(client->reconfig_latency);
+      merged_scan_latency_.Merge(client->gen->latency());
+    } else {
+      result.issued += stats.issued;
+      result.ok += stats.ok;
+      result.rejected += stats.rejected;
+      result.failed += stats.failed;
+      result.deadline_missed += stats.deadline_missed;
+      merged_latency_.Merge(client->gen->latency());
+    }
   }
   const sim::Counters& server = server_->endpoint->counters();
   result.served = server.Get("rpc_async_served");
@@ -244,6 +448,12 @@ OverloadResult OverloadCluster::Run() {
   result.latency_p50_ns = merged_latency_.P50();
   result.latency_p99_ns = merged_latency_.P99();
   result.latency_max_ns = merged_latency_.max();
+  result.scan_reconfig_p50_ns = reconfig.P50();
+  result.scan_reconfig_max_ns = reconfig.max();
+  result.scan_latency_count = merged_scan_latency_.count();
+  result.scan_latency_p50_ns = merged_scan_latency_.P50();
+  result.scan_latency_p99_ns = merged_scan_latency_.P99();
+  result.scan_latency_max_ns = merged_scan_latency_.max();
   return result;
 }
 
@@ -257,6 +467,11 @@ void OverloadCluster::SnapshotMetrics(obs::MetricsRegistry* registry) const {
   }
   for (const auto& client : clients_) {
     registry->ImportCounters(obs::Subsystem::kRpc, client->endpoint->counters());
+  }
+  if (analytics_) {
+    registry->ImportCounters(obs::Subsystem::kFpga, analytics_->scheduler->counters());
+    registry->ImportCounters(obs::Subsystem::kFpga, analytics_->fabric->counters());
+    registry->ImportCounters(obs::Subsystem::kNvme, analytics_->nvme->counters());
   }
   obs::ImportParallelStats(registry, engine_->stats());
 }

@@ -27,9 +27,13 @@
 #include "src/dpu/hyperion.h"
 #include "src/dpu/rpc.h"
 #include "src/dpu/services.h"
+#include "src/format/scan_kernel.h"
+#include "src/fpga/fabric.h"
+#include "src/fpga/scheduler.h"
 #include "src/load/loadgen.h"
 #include "src/nvme/zns.h"
 #include "src/obs/metrics.h"
+#include "src/sim/fault.h"
 #include "src/sim/parallel.h"
 #include "src/sim/stats.h"
 #include "src/storage/lsm_engine.h"
@@ -71,6 +75,25 @@ struct OverloadClusterOptions {
   uint64_t lbas_per_device = 32768;
   uint64_t dram_bytes = 64ull << 20;
   uint64_t hbm_bytes = 16ull << 20;
+  // -- Analytics tenant (PR 10) ----------------------------------------------
+  // `analytics_clients` extra client nodes (ids num_clients+1 ..) issue
+  // ScanOp::kQuery against a Parquet table on the server's NVMe, scanned by
+  // FPGA kernels. With analytics_spatial the scans run behind a *second*
+  // endpoint on node 0 with its own node clock — spatial multiplexing on
+  // the same fabric, zero head-of-line coupling with KV. Without it the
+  // scan handler shares the KV pipeline (the time-shared contrast arm).
+  uint32_t analytics_clients = 0;
+  uint32_t scan_requests_per_client = 8;
+  sim::Duration scan_interarrival = 200 * sim::kMicrosecond;
+  sim::Duration scan_deadline = 0;  // relative; 0 = none
+  uint64_t scan_table_rows = 32768;
+  uint64_t scan_rows_per_group = 2048;
+  bool analytics_spatial = true;
+  uint32_t scan_fabric_regions = 2;
+  // Fault plan evaluated on the analytics exec clock, hooked to the scan
+  // path's NVMe controller and fabric (PR 1 semantics).
+  sim::FaultPlan scan_faults;
+  uint64_t scan_fault_seed = 0x5eed;
 };
 
 // Deterministic run snapshot; equality across shard layouts is the
@@ -89,11 +112,31 @@ struct OverloadResult {
   uint64_t messages = 0;
   sim::SimTime server_clock_ns = 0;
   sim::SimTime makespan_ns = 0;
-  // Client-observed latency of in-deadline successes, merged across nodes.
+  // Client-observed latency of in-deadline successes, merged across the KV
+  // client nodes only (analytics latency is reported separately below).
   uint64_t latency_count = 0;
   uint64_t latency_p50_ns = 0;
   uint64_t latency_p99_ns = 0;
   uint64_t latency_max_ns = 0;
+  // -- Analytics tenant (zero when analytics_clients == 0) -------------------
+  uint64_t scan_issued = 0;
+  uint64_t scan_ok = 0;
+  uint64_t scan_rejected = 0;
+  uint64_t scan_failed = 0;
+  uint64_t scan_rows_matched = 0;
+  // Order-independent fold of per-query ScanOutput fingerprints salted by
+  // (client, seq) — the bit-identity witness across shard layouts.
+  uint64_t scan_fingerprint = 0;
+  uint64_t scan_chunk_bytes = 0;   // reader-requested bytes (footer + chunks)
+  uint64_t scan_device_bytes = 0;  // LBA-rounded device traffic
+  uint64_t scan_groups_skipped = 0;
+  uint64_t scan_reconfigs = 0;     // queries that paid an ICAP load
+  uint64_t scan_reconfig_p50_ns = 0;
+  uint64_t scan_reconfig_max_ns = 0;
+  uint64_t scan_latency_count = 0;
+  uint64_t scan_latency_p50_ns = 0;
+  uint64_t scan_latency_p99_ns = 0;
+  uint64_t scan_latency_max_ns = 0;
 
   bool operator==(const OverloadResult&) const = default;
 };
@@ -105,7 +148,9 @@ class OverloadCluster {
   OverloadCluster& operator=(const OverloadCluster&) = delete;
   ~OverloadCluster();
 
-  uint32_t num_nodes() const { return options_.num_clients + 1; }
+  uint32_t num_nodes() const {
+    return options_.num_clients + options_.analytics_clients + 1;
+  }
   uint32_t ShardOf(uint32_t node) const;
 
   // Runs every client to completion and snapshots the result. One-shot.
@@ -113,6 +158,11 @@ class OverloadCluster {
 
   dpu::ShardedRpcNode& server_endpoint() { return *server_->endpoint; }
   const sim::Histogram& merged_latency() const { return merged_latency_; }
+  const sim::Histogram& merged_scan_latency() const { return merged_scan_latency_; }
+  // Analytics-side fault accounting (null when analytics_clients == 0).
+  const sim::FaultInjector* scan_injector() const {
+    return analytics_ ? analytics_->injector.get() : nullptr;
+  }
 
   // Client + server counters and the parallel engine's tallies, under the
   // PR 4 registry (valid after Run()).
@@ -132,19 +182,55 @@ class OverloadCluster {
     std::unique_ptr<nvme::ZonedNamespace> zns;
     std::unique_ptr<storage::LsmEngine> lsm;
   };
+  // The analytics tenant living on node 0 beside the KV server: Parquet
+  // table on its own NVMe controller behind a small FPGA fabric, scan
+  // kernels swapped by the slot scheduler. In spatial mode it serves from
+  // its own endpoint + node clock; in shared mode its handler is registered
+  // on the KV pipeline and advances the server clock (head-of-line arm).
+  struct AnalyticsTenant {
+    AnalyticsTenant(OverloadCluster* cluster);
+    dpu::RpcResponse HandleScan(uint16_t opcode, const Buffer& payload);
+    sim::Engine clock;         // private node clock (spatial mode)
+    sim::Engine* exec;         // the clock scans actually advance
+    std::unique_ptr<sim::FaultInjector> injector;
+    std::unique_ptr<nvme::Controller> nvme;
+    std::unique_ptr<fpga::Fabric> fabric;
+    std::unique_ptr<fpga::SlotScheduler> scheduler;
+    std::unique_ptr<format::NvmeParquetFile> table;
+    uint64_t table_rows = 0;
+    uint32_t table_groups = 0;
+    std::unique_ptr<format::FpgaScanKernel> kernel;
+    dpu::RpcServer rpc;        // spatial mode dispatch table
+    std::unique_ptr<dpu::ShardedRpcNode> endpoint;  // spatial mode only
+  };
   struct ClientNode {
-    ClientNode(OverloadCluster* cluster, uint32_t id);
+    ClientNode(OverloadCluster* cluster, uint32_t id, bool analytics);
     uint32_t id;
+    bool analytics;
     sim::Engine clock;  // endpoint node clock (client side serves nothing)
     std::unique_ptr<dpu::ShardedRpcNode> endpoint;
     std::unique_ptr<LoadGen> gen;
+    // Analytics accumulators, folded order-independently per completion.
+    uint64_t scan_fingerprint = 0;
+    uint64_t scan_rows_matched = 0;
+    uint64_t scan_chunk_bytes = 0;
+    uint64_t scan_device_bytes = 0;
+    uint64_t scan_groups_skipped = 0;
+    uint64_t scan_reconfigs = 0;
+    sim::Histogram reconfig_latency;
   };
+
+  void StartKvClient(ClientNode* client, sim::SimTime start_base, uint64_t node_stride);
+  void StartScanClient(ClientNode* client, sim::SimTime start_base, uint64_t node_stride);
+  OverloadResult Collect(sim::SimTime start_base);
 
   OverloadClusterOptions options_;
   std::unique_ptr<sim::ParallelEngine> engine_;
   std::unique_ptr<ServerNode> server_;
+  std::unique_ptr<AnalyticsTenant> analytics_;
   std::vector<std::unique_ptr<ClientNode>> clients_;
   sim::Histogram merged_latency_;
+  sim::Histogram merged_scan_latency_;
   bool ran_ = false;
 };
 
